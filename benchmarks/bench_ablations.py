@@ -1,0 +1,75 @@
+"""Benchmarks — ablations A1 (alpha sweep), A2 (leaf size), A3 (ordering)."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_alpha_sweep, run_leaf_sweep, run_ordering_study
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def alpha_rows(scale):
+    n = 12000 if scale == "full" else 4000
+    headers, rows = run_alpha_sweep(n=n, p0=4)
+    save_result("ablation_alpha", format_table(headers, rows, title="A1 — MAC parameter sweep"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def leaf_rows(scale):
+    n = 12000 if scale == "full" else 4000
+    headers, rows = run_leaf_sweep(n=n, p0=4, alpha=0.4)
+    save_result("ablation_leaf", format_table(headers, rows, title="A2 — leaf-capacity sweep"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ordering_rows(scale):
+    n = 16000 if scale == "full" else 6000
+    headers, rows = run_ordering_study(n=n, alpha=0.4)
+    save_result(
+        "ablation_ordering", format_table(headers, rows, title="A3 — block-ordering study")
+    )
+    return rows
+
+
+def test_error_monotone_in_alpha(alpha_rows):
+    """Tighter MAC (smaller alpha) gives smaller error for both methods."""
+    err_o = [r[1] for r in alpha_rows]
+    err_n = [r[3] for r in alpha_rows]
+    assert err_o[0] < err_o[-1]
+    assert err_n[0] < err_n[-1]
+
+
+def test_adaptive_never_worse_across_alpha(alpha_rows):
+    for r in alpha_rows:
+        assert r[3] <= r[1] * 1.15, r
+
+
+def test_near_fraction_grows_with_leaf(leaf_rows):
+    """Bigger leaves shift work from multipole terms to direct pairs."""
+    frac = [r[4] for r in leaf_rows]
+    assert all(b > a for a, b in zip(frac, frac[1:]))
+
+
+def test_far_terms_shrink_with_leaf(leaf_rows):
+    far = [r[2] for r in leaf_rows]
+    assert far[-1] < far[0]
+
+
+def test_hilbert_ordering_most_local(ordering_rows):
+    """The paper's Peano-Hilbert ordering minimizes the data volume each
+    processor touches (the cache/communication proxy); random ordering
+    makes every processor touch most of the tree."""
+    by_name = {r[0]: r for r in ordering_rows}
+    # summed per-block distinct-cluster volume: hilbert clearly smallest
+    assert by_name["hilbert"][1] < 0.6 * by_name["random"][1]
+    assert by_name["hilbert"][1] <= by_name["morton"][1] * 1.02
+    # per-processor unique data volume under contiguous assignment
+    assert by_name["hilbert"][2] < by_name["random"][2]
+
+
+def test_bench_alpha_point(benchmark, alpha_rows, leaf_rows, ordering_rows):
+    headers, rows = benchmark(lambda: run_alpha_sweep(alphas=[0.5], n=2000))
+    assert len(rows) == 1

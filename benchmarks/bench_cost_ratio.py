@@ -1,0 +1,41 @@
+"""Benchmark — E6: Theorem-5 cost-ratio study.
+
+Measures terms(new)/terms(orig) across n and checks it stays inside the
+Theorem-5 envelope (the theorem bounds the worst case where every level
+contributes its full c_max interactions; measured ratios are lower
+because top levels are rarely accepted)."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import run_cost_ratio
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def cost_rows(scale):
+    sizes = [2000, 8000, 32000] if scale == "full" else [1000, 4000, 8000]
+    headers, rows = run_cost_ratio(sizes, p0=4, alpha=0.4)
+    save_result(
+        "cost_ratio",
+        format_table(headers, rows, title="E6 — Theorem 5 cost-ratio check (p0=4, alpha=0.4)"),
+    )
+    return rows
+
+
+def test_measured_ratio_below_theorem5_bound(cost_rows):
+    for n, height, t_orig, t_new, measured, predicted in cost_rows:
+        assert measured <= predicted * 1.05, (n, measured, predicted)
+
+
+def test_measured_ratio_moderate(cost_rows):
+    """The paper: 'within a small constant' — the improved method costs
+    at most ~2.5x the original on these instances."""
+    for row in cost_rows:
+        assert row[4] < 2.5
+
+
+def test_bench_cost_ratio_point(benchmark, scale, cost_rows):
+    headers, rows = benchmark(lambda: run_cost_ratio([1000], p0=4, alpha=0.4))
+    assert rows[0][4] > 0

@@ -1,0 +1,54 @@
+"""Benchmark — Figure 2: error and cost vs n series for both methods."""
+
+import pytest
+
+from repro.analysis.tables import format_series
+from repro.experiments import run_fig2
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def fig2_data(scale):
+    sizes = (
+        [2000, 4000, 8000, 16000, 32000]
+        if scale == "full"
+        else [500, 1000, 2000, 4000, 8000]
+    )
+    data = run_fig2(sizes, p0=4, alpha=0.4)
+    parts = ["Figure 2 — error and computational cost of original vs new method"]
+    for name, (xs, ys) in data.series().items():
+        parts.append(format_series(name, xs, ys, xlabel="n", ylabel=name))
+    save_result("fig2", "\n\n".join(parts))
+    return data
+
+
+def test_fig2_error_series_shape(fig2_data):
+    """New method error stays below original at every n."""
+    for eo, en in zip(fig2_data.err_orig, fig2_data.err_new):
+        assert en <= eo * 1.1
+
+
+def test_fig2_bound_divergence(fig2_data):
+    """The original method's bound grows with n; the improved method's
+    bound grows much more slowly (the paper's headline figure)."""
+    b_o = fig2_data.bound_orig
+    b_n = fig2_data.bound_new
+    growth_o = b_o[-1] / b_o[0]
+    growth_n = b_n[-1] / b_n[0]
+    assert growth_o > 2.0  # clearly growing
+    assert growth_n < growth_o / 1.5  # much slower
+
+
+def test_fig2_terms_similar(fig2_data):
+    """Costs of the two methods stay within a small constant factor."""
+    for to, tn in zip(fig2_data.terms_orig, fig2_data.terms_new):
+        assert tn / to < 3.0
+
+
+def test_bench_fig2_point(benchmark, fig2_data):
+    """Time a single Figure-2 data point (both methods at n=2000)."""
+    from repro.experiments import run_case
+
+    row = benchmark(lambda: run_case("uniform", 2000, p0=4, alpha=0.4))
+    assert row.err_new <= row.err_orig * 1.1

@@ -1,0 +1,44 @@
+"""Benchmark — A4: the FMM extension with Theorem-3 degree schedules."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.data.distributions import uniform_cube, unit_charges
+from repro.experiments import run_fmm_extension
+from repro.fmm import UniformFMM
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def fmm_rows(scale):
+    n = 16000 if scale == "full" else 4000
+    headers, rows = run_fmm_extension(n=n, level=3, p0=4)
+    save_result(
+        "fmm_extension",
+        format_table(headers, rows, title="A4 — FMM degree-schedule extension"),
+    )
+    return rows
+
+
+def test_adaptive_schedule_improves_fmm_error(fmm_rows):
+    """Raising coarse-level degrees (Theorem 3 transferred to the FMM)
+    reduces the error relative to the fixed-degree FMM."""
+    errs = {r[0]: r[2] for r in fmm_rows}
+    assert errs["adaptive(c=1)"] < errs["fixed"]
+    assert errs["adaptive(c=2)"] < errs["adaptive(c=1)"]
+
+
+def test_cost_grows_moderately(fmm_rows):
+    terms = {r[0]: r[3] for r in fmm_rows}
+    assert terms["adaptive(c=2)"] < 6 * terms["fixed"]
+
+
+def test_bench_fmm_evaluate(benchmark, fmm_rows):
+    n = 3000
+    pts = uniform_cube(n, seed=1)
+    q = unit_charges(n, seed=2, signed=True)
+    fmm = UniformFMM(pts, q, level=3, degrees=5)
+    out = benchmark(fmm.evaluate)
+    assert np.all(np.isfinite(out))

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the computational kernels.
+
+Times the building blocks whose costs the paper's complexity analysis
+reasons about: key generation, tree construction, P2M/M2P, the
+translation operators, and the direct kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.direct import direct_potential
+from repro.multipole.expansion import m2p_rows, p2m
+from repro.multipole.harmonics import ncoef
+from repro.multipole.translations import l2l, m2l, m2m
+from repro.tree.hilbert import hilbert_key
+from repro.tree.morton import morton_key
+from repro.tree.octree import build_octree
+
+N = 20000
+RNG = np.random.default_rng(7)
+PTS = RNG.random((N, 3))
+Q = RNG.uniform(-1, 1, N)
+
+
+def test_bench_morton_keys(benchmark):
+    keys = benchmark(lambda: morton_key(PTS, np.zeros(3), np.ones(3)))
+    assert keys.shape == (N,)
+
+
+def test_bench_hilbert_keys(benchmark):
+    keys = benchmark(lambda: hilbert_key(PTS, np.zeros(3), np.ones(3), bits=16))
+    assert keys.shape == (N,)
+
+
+def test_bench_octree_build(benchmark):
+    tree = benchmark(lambda: build_octree(PTS, Q, leaf_size=16))
+    assert tree.n_particles == N
+
+
+@pytest.mark.parametrize("p", [4, 8])
+def test_bench_p2m(benchmark, p):
+    rel = RNG.random((5000, 3)) - 0.5
+    q = RNG.uniform(-1, 1, 5000)
+    coeffs = benchmark(lambda: p2m(rel, q, p))
+    assert coeffs.shape == (ncoef(p),)
+
+
+@pytest.mark.parametrize("p", [4, 8])
+def test_bench_m2p_rows(benchmark, p):
+    npairs = 20000
+    rows = (RNG.random((npairs, ncoef(p))) + 1j * RNG.random((npairs, ncoef(p)))).astype(
+        np.complex128
+    )
+    rel = RNG.random((npairs, 3)) + 2.0
+    out = benchmark(lambda: m2p_rows(rows, rel, p))
+    assert out.shape == (npairs,)
+
+
+@pytest.mark.parametrize("op_name", ["m2m", "m2l", "l2l"])
+def test_bench_translations(benchmark, op_name):
+    p = 8
+    B = 256
+    coeffs = (RNG.random((B, ncoef(p))) + 1j * RNG.random((B, ncoef(p)))).astype(
+        np.complex128
+    )
+    if op_name == "m2m":
+        shifts = RNG.random((B, 3)) * 0.5
+        out = benchmark(lambda: m2m(coeffs, shifts, p))
+    elif op_name == "m2l":
+        shifts = RNG.random((B, 3)) + 3.0
+        out = benchmark(lambda: m2l(coeffs, shifts, p))
+    else:
+        shifts = RNG.random((B, 3)) * 0.5
+        out = benchmark(lambda: l2l(coeffs, shifts, p))
+    assert out.shape == (B, ncoef(p))
+
+
+def test_bench_direct_small(benchmark):
+    pts = PTS[:3000]
+    q = Q[:3000]
+    out = benchmark(lambda: direct_potential(pts, q))
+    assert out.shape == (3000,)

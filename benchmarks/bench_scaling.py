@@ -1,0 +1,80 @@
+"""Benchmark — complexity scaling study.
+
+The paper's complexity claims: the treecode evaluates
+``O(n log n)``-ish multipole terms (against the direct method's
+``O(n²)`` pairs), and the improved method stays within a small constant
+of the original (Theorem 5).  This benchmark measures term counts over
+an n-sweep and fits the growth exponents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import fit_power_law
+from repro.analysis.tables import format_table
+from repro.core.degree import AdaptiveChargeDegree, FixedDegree
+from repro.core.treecode import Treecode
+from repro.data.distributions import uniform_cube, unit_charges
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def scaling_rows(scale):
+    sizes = [2000, 4000, 8000, 16000, 32000] if scale == "full" else [1000, 2000, 4000, 8000]
+    rows = []
+    for n in sizes:
+        pts = uniform_cube(n, seed=n)
+        q = unit_charges(n, seed=n + 1, signed=True)
+        row = [n]
+        for policy in (FixedDegree(4), AdaptiveChargeDegree(p0=4, alpha=0.4)):
+            tc = Treecode(pts, q, degree_policy=policy, alpha=0.4)
+            s = tc.evaluate().stats
+            row += [s.n_terms, s.n_pp_pairs]
+        row.append(n * (n - 1))  # direct-method pair count
+        rows.append(row)
+    save_result(
+        "scaling",
+        format_table(
+            ["n", "terms(orig)", "pp(orig)", "terms(new)", "pp(new)", "direct pairs"],
+            rows,
+            title="Complexity scaling: treecode vs direct",
+        ),
+    )
+    return rows
+
+
+def test_treecode_subquadratic(scaling_rows):
+    """Treecode total work must grow far slower than the direct method's
+    O(n²) — the exponent should be ~1.1-1.4 (n log n territory)."""
+    n = [r[0] for r in scaling_rows]
+    for col in (1, 3):  # terms(orig), terms(new)
+        work = [r[col] + r[col + 1] for r in scaling_rows]
+        beta, _ = fit_power_law(n, work)
+        assert beta < 1.75, (col, beta)
+        assert beta > 0.9
+
+
+def test_direct_is_quadratic(scaling_rows):
+    n = [r[0] for r in scaling_rows]
+    beta, _ = fit_power_law(n, [r[5] for r in scaling_rows])
+    assert beta == pytest.approx(2.0, abs=0.05)
+
+
+def test_treecode_beats_direct_at_scale(scaling_rows):
+    """Per-interaction costs are comparable (a few flops each), so the
+    raw counts show the crossover: at the largest n the treecode does
+    less work than the direct method, and its advantage widens with n."""
+    last = scaling_rows[-1]
+    assert last[1] + last[2] < last[5]
+    ratios = [(r[1] + r[2]) / r[5] for r in scaling_rows]
+    assert ratios[-1] < ratios[0]
+
+
+def test_bench_scaling_point(benchmark, scaling_rows):
+    n = 2000
+    pts = uniform_cube(n, seed=n)
+    q = unit_charges(n, seed=n + 1, signed=True)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(4), alpha=0.4)
+    out = benchmark(lambda: tc.evaluate().stats.n_terms)
+    assert out > 0

@@ -1,0 +1,60 @@
+"""Benchmark — Table 1: errors and multipole terms, original vs improved.
+
+Regenerates the paper's Table 1 rows (structured + unstructured
+distributions) and times the serial treecode evaluation of both methods
+on a representative instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.degree import AdaptiveChargeDegree, FixedDegree
+from repro.core.treecode import Treecode
+from repro.data.distributions import uniform_cube, unit_charges
+from repro.experiments import Table1Row, run_table1
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def table1_rows(scale):
+    if scale == "full":
+        structured = [4000, 8000, 16000, 32000, 64000]
+        unstructured = [("gaussian", 32000), ("overlapping_gaussians", 48000)]
+    else:
+        structured = [1000, 2000, 4000, 8000]
+        unstructured = [("gaussian", 4000), ("overlapping_gaussians", 6000)]
+    rows = run_table1(structured, unstructured, p0=4, alpha=0.4)
+    text = format_table(
+        Table1Row.HEADERS,
+        [r.as_list() for r in rows],
+        title="Table 1 — error and multipole terms, original vs improved (p0=4, alpha=0.4)",
+    )
+    save_result("table1", text)
+    return rows
+
+
+def test_table1_shape(table1_rows):
+    """The paper's claims: improved error never worse, bound dramatically
+    better and diverging with n, term counts within a small factor."""
+    uniform = [r for r in table1_rows if r.distribution == "uniform"]
+    for r in table1_rows:
+        assert r.err_new <= r.err_orig * 1.1
+        assert r.bound_new < r.bound_orig
+        assert r.terms_new < 3.0 * r.terms_orig
+    # bound gap widens with n on the structured instances
+    gaps = [r.bound_orig / r.bound_new for r in uniform]
+    assert gaps[-1] > gaps[0]
+
+
+@pytest.mark.parametrize("method", ["original", "new"])
+def test_bench_treecode_evaluate(benchmark, method, table1_rows):
+    """Time one serial treecode evaluation (the Table-1 workhorse)."""
+    n = 4000
+    pts = uniform_cube(n, seed=1)
+    q = unit_charges(n, seed=2, signed=True)
+    policy = FixedDegree(4) if method == "original" else AdaptiveChargeDegree(p0=4, alpha=0.4)
+    tc = Treecode(pts, q, degree_policy=policy, alpha=0.4)
+    result = benchmark(lambda: tc.evaluate().potential)
+    assert np.all(np.isfinite(result))

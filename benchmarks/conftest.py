@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper at a laptop-friendly scale and times the underlying
+kernels with pytest-benchmark.  Set ``REPRO_BENCH_SCALE=full`` for
+paper-scale instances (much slower).  Each benchmark writes its table to
+``benchmarks/results/<name>.txt`` and echoes it to the terminal
+(run with ``-s`` to see tables inline).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,62 @@
+"""BEM application: capacitance extraction with the treecode solver.
+
+Reproduces the paper's boundary-element workflow end to end: surface
+triangulation → 6-point Gauss quadrature per element → dense
+first-kind system solved by GMRES(10) with treecode matrix-vector
+products.  The unit sphere validates against the analytic capacitance
+C = 4π; the propeller and gripper show the solver on the paper's
+unstructured industrial geometry class.
+
+Run:  python examples/bem_capacitance.py
+"""
+
+import numpy as np
+
+from repro.bem import capacitance, gripper, icosphere, propeller
+from repro.core.degree import AdaptiveChargeDegree
+
+
+def main() -> None:
+    print("=== unit sphere (analytic capacitance 4π ≈ 12.5664) ===")
+    sphere = icosphere(3)
+    C, sol = capacitance(
+        sphere,
+        n_gauss=6,
+        degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5),
+        alpha=0.5,
+    )
+    err = abs(C - 4 * np.pi) / (4 * np.pi)
+    print(
+        f"  {sphere.n_triangles} elements, {sphere.n_vertices} nodes: "
+        f"C = {C:.4f} (rel err {err:.2e}), "
+        f"GMRES(10) iters = {sol.gmres.n_iterations}"
+    )
+    assert err < 0.01
+
+    for name, mesh in (
+        ("propeller", propeller(blade_res=10, hub_res=10)),
+        ("gripper", gripper(resolution=5)),
+    ):
+        print(f"\n=== {name} ===")
+        C, sol = capacitance(
+            mesh,
+            n_gauss=6,
+            degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5),
+            alpha=0.5,
+        )
+        ops = sol.operator
+        print(
+            f"  {mesh.n_triangles} elements, {mesh.n_vertices} nodes, "
+            f"{ops.points.shape[0]} Gauss points"
+        )
+        print(
+            f"  C = {C:.4f}, GMRES(10) "
+            f"{'converged' if sol.gmres.converged else 'FAILED'} in "
+            f"{sol.gmres.n_iterations} iterations "
+            f"({ops.n_matvecs} matvecs, {ops.stats.n_terms/1e6:.1f}M terms total)"
+        )
+        assert sol.gmres.converged
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — adaptive-degree multipole treecodes with analyzed error bounds.
+
+A from-scratch reproduction of Sarin, Grama & Sameh, *Analyzing the
+Error Bounds of Multipole-Based Treecodes* (SC 1998): a Barnes-Hut
+treecode whose per-cluster multipole degree is chosen from the
+cluster's absolute charge so that every interaction carries the same
+error (Theorem 3), giving O(log n) aggregate error at marginal extra
+cost, plus the parallel formulation and the boundary-element (BEM)
+application the paper evaluates.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Treecode, AdaptiveChargeDegree, direct_potential
+>>> rng = np.random.default_rng(0)
+>>> pts, q = rng.random((2000, 3)), rng.random(2000)
+>>> tc = Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5))
+>>> res = tc.evaluate()
+>>> err = np.linalg.norm(res.potential - direct_potential(pts, q))
+"""
+
+from .core import (
+    AdaptiveChargeDegree,
+    DegreePolicy,
+    FixedDegree,
+    LevelDegree,
+    ToleranceDegree,
+    Treecode,
+    TreecodeResult,
+    TreecodeStats,
+)
+from .direct import direct_gradient, direct_potential
+from .simulation import LeapfrogIntegrator, SimulationState
+from .tree import Octree, build_octree, hilbert_order
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Treecode",
+    "TreecodeResult",
+    "TreecodeStats",
+    "DegreePolicy",
+    "FixedDegree",
+    "AdaptiveChargeDegree",
+    "LevelDegree",
+    "ToleranceDegree",
+    "LeapfrogIntegrator",
+    "SimulationState",
+    "direct_potential",
+    "direct_gradient",
+    "Octree",
+    "build_octree",
+    "hilbert_order",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Error metrics and table formatting for experiments."""
+
+from .convergence import fit_log_growth, fit_power_law, growth_factor
+from .metrics import (
+    absolute_l2_error,
+    error_report,
+    max_relative_error,
+    relative_l2_error,
+)
+from .tables import fmt_count, format_series, format_table
+
+__all__ = [
+    "relative_l2_error",
+    "max_relative_error",
+    "absolute_l2_error",
+    "error_report",
+    "format_table",
+    "format_series",
+    "fmt_count",
+    "fit_power_law",
+    "fit_log_growth",
+    "growth_factor",
+]

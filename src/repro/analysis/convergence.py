@@ -1,0 +1,55 @@
+"""Growth-rate fitting for convergence/complexity studies.
+
+The paper's claims are asymptotic ("error grows linearly with charge",
+"aggregate error O(log n)", "complexity within a small constant"); these
+helpers turn measured series into fitted exponents/rates so experiments
+can assert growth *shapes* instead of absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_power_law", "fit_log_growth", "growth_factor"]
+
+
+def fit_power_law(x, y) -> tuple[float, float]:
+    """Least-squares fit ``y ≈ C x^beta``; returns ``(beta, C)``.
+
+    Both series must be positive.  Used e.g. to verify the original
+    method's error bound grows ~``n^(2/3)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("need two 1-D series of equal length >= 2")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    beta, logc = np.polyfit(lx, ly, 1)
+    return float(beta), float(np.exp(logc))
+
+
+def fit_log_growth(x, y) -> tuple[float, float]:
+    """Least-squares fit ``y ≈ a log(x) + b``; returns ``(a, b)``.
+
+    Used to check the improved method's O(log n) aggregate bound.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("need two 1-D series of equal length >= 2")
+    if np.any(x <= 0):
+        raise ValueError("log fit requires positive x")
+    a, b = np.polyfit(np.log(x), y, 1)
+    return float(a), float(b)
+
+
+def growth_factor(y) -> float:
+    """``y[-1] / y[0]`` — the end-to-end growth of a positive series."""
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1 or y.size < 2:
+        raise ValueError("need a 1-D series of length >= 2")
+    if y[0] == 0:
+        raise ValueError("first element must be nonzero")
+    return float(y[-1] / y[0])

@@ -1,0 +1,61 @@
+"""Error metrics and cost accounting used by every experiment.
+
+The paper defines the simulation error from the vector ``a`` of accurate
+potentials and the treecode's ``a'``; we provide the relative 2-norm
+(the headline metric), the max-norm (worst particle), the absolute
+2-norm, and helpers for summarizing treecode cost statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_l2_error",
+    "max_relative_error",
+    "absolute_l2_error",
+    "error_report",
+]
+
+
+def relative_l2_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``||a' - a||_2 / ||a||_2`` — the paper's simulation error."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approx.shape != exact.shape:
+        raise ValueError(f"shape mismatch: {approx.shape} vs {exact.shape}")
+    denom = np.linalg.norm(exact)
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(approx - exact) / denom)
+
+
+def max_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``max_i |a'_i - a_i| / max_i |a_i|`` — worst-particle error."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approx.shape != exact.shape:
+        raise ValueError(f"shape mismatch: {approx.shape} vs {exact.shape}")
+    denom = np.abs(exact).max()
+    if denom == 0.0:
+        return float(np.abs(approx).max())
+    return float(np.abs(approx - exact).max() / denom)
+
+
+def absolute_l2_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``||a' - a||_2`` — the aggregate (unnormalized) error the paper's
+    bounds are stated in."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approx.shape != exact.shape:
+        raise ValueError(f"shape mismatch: {approx.shape} vs {exact.shape}")
+    return float(np.linalg.norm(approx - exact))
+
+
+def error_report(approx: np.ndarray, exact: np.ndarray) -> dict:
+    """All three metrics in one dict (used by the benchmark tables)."""
+    return {
+        "rel_l2": relative_l2_error(approx, exact),
+        "max_rel": max_relative_error(approx, exact),
+        "abs_l2": absolute_l2_error(approx, exact),
+    }

@@ -1,0 +1,58 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benchmarks print the same rows/series the paper reports; these
+helpers keep the formatting uniform (fixed-width columns, scientific
+notation for errors, millions for term counts).
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series", "fmt_count"]
+
+
+def fmt_count(x: float) -> str:
+    """Human-scale count: ``12.3M``, ``45.1K``, or plain."""
+    if x >= 1e9:
+        return f"{x / 1e9:.2f}B"
+    if x >= 1e6:
+        return f"{x / 1e6:.1f}M"
+    if x >= 1e3:
+        return f"{x / 1e3:.1f}K"
+    return f"{x:.0f}"
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        a = abs(value)
+        if a < 1e-3 or a >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[_render(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: list, ys: list, xlabel: str = "x", ylabel: str = "y") -> str:
+    """Render an (x, y) series as the paper's figures would plot it."""
+    lines = [f"series: {name}  ({xlabel} -> {ylabel})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_render(x):>12}  {_render(y):>14}")
+    return "\n".join(lines)

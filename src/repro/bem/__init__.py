@@ -1,0 +1,29 @@
+"""Boundary-element substrate: meshes, quadrature, operator, GMRES."""
+
+from .geometries import box, cylinder, gripper, icosphere, parametric_patch, propeller
+from .gmres import GMRESResult, gmres
+from .mesh import TriangleMesh, merge_meshes, weld_vertices
+from .operator import SingleLayerOperator
+from .quadrature import mesh_quadrature, triangle_rule
+from .solver import BEMSolution, capacitance, nodal_integral, solve_dirichlet
+
+__all__ = [
+    "TriangleMesh",
+    "merge_meshes",
+    "weld_vertices",
+    "icosphere",
+    "parametric_patch",
+    "box",
+    "cylinder",
+    "propeller",
+    "gripper",
+    "triangle_rule",
+    "mesh_quadrature",
+    "gmres",
+    "GMRESResult",
+    "SingleLayerOperator",
+    "solve_dirichlet",
+    "capacitance",
+    "nodal_integral",
+    "BEMSolution",
+]

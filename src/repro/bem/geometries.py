@@ -1,0 +1,243 @@
+"""Synthetic surface geometries for the BEM experiments.
+
+The paper's industrial instances (an airplane propeller and two gripper
+discretizations) are not available; these parametric stand-ins
+reproduce the *distribution class* that matters for the treecode — thin
+triangulated surfaces where "a bulk of the volume is empty and the nodes
+are concentrated on the surface" — at controllable resolution:
+
+* :func:`icosphere` — analytic reference case (known capacitance);
+* :func:`propeller` — hub cylinder plus twisted tapered blades;
+* :func:`gripper` — palm block plus parallel fingers.
+
+All generators return welded :class:`~repro.bem.mesh.TriangleMesh`
+objects whose size scales with the resolution arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh import TriangleMesh, merge_meshes, weld_vertices
+
+__all__ = ["icosphere", "parametric_patch", "box", "cylinder", "propeller", "gripper"]
+
+
+def icosphere(subdivisions: int = 3, radius: float = 1.0, center=(0.0, 0.0, 0.0)) -> TriangleMesh:
+    """Unit icosahedron subdivided ``subdivisions`` times and projected
+    to a sphere.  Face count is ``20 * 4**subdivisions``."""
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be >= 0")
+    t = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, t, 0], [1, t, 0], [-1, -t, 0], [1, -t, 0],
+            [0, -1, t], [0, 1, t], [0, -1, -t], [0, 1, -t],
+            [t, 0, -1], [t, 0, 1], [-t, 0, -1], [-t, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ],
+        dtype=np.int64,
+    )
+    for _ in range(subdivisions):
+        verts_l = list(verts)
+        midpoint: dict[tuple[int, int], int] = {}
+
+        def mid(i: int, j: int) -> int:
+            key = (min(i, j), max(i, j))
+            if key not in midpoint:
+                m = verts_l[i] + verts_l[j]
+                m = m / np.linalg.norm(m)
+                midpoint[key] = len(verts_l)
+                verts_l.append(m)
+            return midpoint[key]
+
+        new_faces = []
+        for a, b, c in faces:
+            ab, bc, ca = mid(a, b), mid(b, c), mid(c, a)
+            new_faces += [[a, ab, ca], [b, bc, ab], [c, ca, bc], [ab, bc, ca]]
+        verts = np.asarray(verts_l)
+        faces = np.asarray(new_faces, dtype=np.int64)
+    return TriangleMesh(verts * radius + np.asarray(center, dtype=np.float64), faces)
+
+
+def parametric_patch(f, nu: int, nv: int) -> TriangleMesh:
+    """Triangulate the image of ``f(u, v)`` over the unit square.
+
+    ``f`` maps broadcastable ``u, v in [0, 1]`` arrays to ``(..., 3)``
+    points; the grid has ``nu x nv`` cells (two triangles each).
+    """
+    if nu < 1 or nv < 1:
+        raise ValueError("nu and nv must be >= 1")
+    u = np.linspace(0.0, 1.0, nu + 1)
+    v = np.linspace(0.0, 1.0, nv + 1)
+    uu, vv = np.meshgrid(u, v, indexing="ij")
+    pts = np.asarray(f(uu, vv), dtype=np.float64).reshape(-1, 3)
+    idx = np.arange((nu + 1) * (nv + 1)).reshape(nu + 1, nv + 1)
+    a = idx[:-1, :-1].ravel()
+    b = idx[1:, :-1].ravel()
+    c = idx[1:, 1:].ravel()
+    d = idx[:-1, 1:].ravel()
+    tris = np.concatenate(
+        [np.stack([a, b, c], axis=1), np.stack([a, c, d], axis=1)], axis=0
+    )
+    return TriangleMesh(pts, tris)
+
+
+def box(size=(1.0, 1.0, 1.0), center=(0.0, 0.0, 0.0), resolution: int = 4) -> TriangleMesh:
+    """Axis-aligned box surface with ``resolution²`` cells per face."""
+    sx, sy, sz = (float(s) / 2 for s in size)
+    cx, cy, cz = center
+    patches = []
+
+    def face(origin, eu, ev):
+        o = np.asarray(origin, dtype=np.float64)
+        eu = np.asarray(eu, dtype=np.float64)
+        ev = np.asarray(ev, dtype=np.float64)
+        return parametric_patch(
+            lambda u, v: o + u[..., None] * eu + v[..., None] * ev,
+            resolution,
+            resolution,
+        )
+
+    patches.append(face([cx - sx, cy - sy, cz - sz], [2 * sx, 0, 0], [0, 2 * sy, 0]))
+    patches.append(face([cx - sx, cy - sy, cz + sz], [0, 2 * sy, 0], [2 * sx, 0, 0]))
+    patches.append(face([cx - sx, cy - sy, cz - sz], [0, 0, 2 * sz], [2 * sx, 0, 0]))
+    patches.append(face([cx - sx, cy + sy, cz - sz], [2 * sx, 0, 0], [0, 0, 2 * sz]))
+    patches.append(face([cx - sx, cy - sy, cz - sz], [0, 2 * sy, 0], [0, 0, 2 * sz]))
+    patches.append(face([cx + sx, cy - sy, cz - sz], [0, 0, 2 * sz], [0, 2 * sy, 0]))
+    return weld_vertices(merge_meshes(patches))
+
+
+def cylinder(
+    radius: float = 1.0,
+    height: float = 1.0,
+    n_around: int = 24,
+    n_along: int = 8,
+    center=(0.0, 0.0, 0.0),
+    axis: str = "z",
+    caps: bool = True,
+) -> TriangleMesh:
+    """Closed circular cylinder aligned with a coordinate axis."""
+    if axis not in ("x", "y", "z"):
+        raise ValueError(f"axis must be x/y/z, got {axis!r}")
+
+    def side(u, v):
+        ang = 2 * np.pi * u
+        x = radius * np.cos(ang)
+        y = radius * np.sin(ang)
+        z = height * (v - 0.5)
+        return np.stack([x, y, z], axis=-1)
+
+    patches = [parametric_patch(side, n_around, n_along)]
+    if caps:
+        for zsign in (-1.0, 1.0):
+
+            def cap(u, v, zs=zsign):
+                ang = 2 * np.pi * u
+                r = radius * v
+                return np.stack(
+                    [r * np.cos(ang), r * np.sin(ang), np.full_like(r, zs * height / 2)],
+                    axis=-1,
+                )
+
+            patches.append(parametric_patch(cap, n_around, max(2, n_along // 2)))
+    m = weld_vertices(merge_meshes(patches))
+    pts = m.vertices
+    if axis == "x":
+        pts = pts[:, [2, 0, 1]]
+    elif axis == "y":
+        pts = pts[:, [1, 2, 0]]
+    return TriangleMesh(pts + np.asarray(center, dtype=np.float64), m.triangles)
+
+
+def propeller(
+    n_blades: int = 3,
+    blade_res: int = 12,
+    hub_res: int = 12,
+    blade_length: float = 1.0,
+    blade_chord: float = 0.25,
+    twist: float = 0.9,
+) -> TriangleMesh:
+    """A propeller: cylindrical hub plus twisted, tapered blades.
+
+    Each blade is a parametric sheet spanning radially from the hub with
+    linear taper and a twist of ``twist`` radians root-to-tip, slightly
+    cambered so the surface is genuinely three-dimensional.  The node
+    cloud is thin and highly non-uniform — the property that makes the
+    paper's propeller instance a hard case for treecodes.
+    """
+    if n_blades < 1:
+        raise ValueError("n_blades must be >= 1")
+    hub_r = 0.18
+    hub = cylinder(
+        radius=hub_r, height=0.35, n_around=hub_res, n_along=max(3, hub_res // 3)
+    )
+    parts = [hub]
+    for k in range(n_blades):
+        phase = 2 * np.pi * k / n_blades
+
+        def blade(u, v, ph=phase):
+            # u: radial [root, tip]; v: around the closed elliptical
+            # cross-section.  The blade is a thin solid, not an open
+            # sheet (open sheets make the first-kind equation
+            # edge-singular), with a rounded tip and a section thickness
+            # comparable to the panel size (thinner sections put
+            # opposite panels closer than one element, which the 6-point
+            # quadrature cannot resolve and GMRES then stagnates).
+            # roots start just off the hub surface: interpenetrating
+            # panels (blade inside hub) degrade the conditioning of the
+            # collocation system
+            r = hub_r * 1.05 + u * blade_length
+            taper = (1.0 - 0.6 * u) * np.sqrt(np.maximum(0.0, 1.0 - u**10))
+            ang = ph + twist * u
+            gamma = twist * u  # pitch of the section
+            c1 = 0.5 * blade_chord * taper * np.cos(2 * np.pi * v)
+            c2 = 0.5 * 0.6 * blade_chord * taper * np.sin(2 * np.pi * v)
+            ca, sa = np.cos(ang), np.sin(ang)
+            cg, sg = np.cos(gamma), np.sin(gamma)
+            # frame: radial e_r, chordwise e_c (pitched), normal e_n
+            x = r * ca + c1 * (-sa * cg) + c2 * (sa * sg)
+            y = r * sa + c1 * (ca * cg) + c2 * (-ca * sg)
+            z = c1 * sg + c2 * cg
+            return np.stack([x, y, z], axis=-1)
+
+        parts.append(parametric_patch(blade, blade_res * 2, blade_res))
+    return weld_vertices(merge_meshes(parts))
+
+
+def gripper(
+    n_fingers: int = 3,
+    resolution: int = 6,
+    finger_length: float = 0.8,
+    finger_sep: float = 0.35,
+) -> TriangleMesh:
+    """An industrial gripper: palm block plus parallel fingers.
+
+    The fingers create long thin, closely-spaced surfaces — the
+    clustered, surface-concentrated node distribution of the paper's
+    gripper instances.
+    """
+    if n_fingers < 1:
+        raise ValueError("n_fingers must be >= 1")
+    width = finger_sep * (n_fingers - 1) + 0.3
+    palm = box(size=(width + 0.2, 0.4, 0.3), center=(0.0, 0.0, 0.0), resolution=resolution)
+    parts = [palm]
+    x0 = -finger_sep * (n_fingers - 1) / 2
+    for k in range(n_fingers):
+        parts.append(
+            box(
+                size=(0.12, 0.12, finger_length),
+                center=(x0 + k * finger_sep, 0.0, 0.15 + finger_length / 2),
+                resolution=max(2, resolution // 2),
+            )
+        )
+    return weld_vertices(merge_meshes(parts))

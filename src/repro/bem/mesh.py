@@ -1,0 +1,106 @@
+"""Triangle surface meshes for the boundary-element experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TriangleMesh", "merge_meshes", "weld_vertices"]
+
+
+@dataclass
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Attributes
+    ----------
+    vertices:
+        ``(v, 3)`` float coordinates (the collocation nodes of the BEM).
+    triangles:
+        ``(t, 3)`` integer vertex indices (the boundary elements).
+    """
+
+    vertices: np.ndarray
+    triangles: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vertices = np.ascontiguousarray(self.vertices, dtype=np.float64)
+        self.triangles = np.ascontiguousarray(self.triangles, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ValueError(f"vertices must be (v, 3), got {self.vertices.shape}")
+        if self.triangles.ndim != 2 or self.triangles.shape[1] != 3:
+            raise ValueError(f"triangles must be (t, 3), got {self.triangles.shape}")
+        if self.triangles.size and (
+            self.triangles.min() < 0 or self.triangles.max() >= len(self.vertices)
+        ):
+            raise ValueError("triangle indices out of range")
+
+    @property
+    def n_vertices(self) -> int:
+        return self.vertices.shape[0]
+
+    @property
+    def n_triangles(self) -> int:
+        return self.triangles.shape[0]
+
+    def corners(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three ``(t, 3)`` corner-coordinate arrays."""
+        return (
+            self.vertices[self.triangles[:, 0]],
+            self.vertices[self.triangles[:, 1]],
+            self.vertices[self.triangles[:, 2]],
+        )
+
+    def areas(self) -> np.ndarray:
+        """Triangle areas, ``(t,)``."""
+        a, b, c = self.corners()
+        return 0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1)
+
+    def normals(self) -> np.ndarray:
+        """Unit normals, ``(t, 3)`` (orientation as indexed)."""
+        a, b, c = self.corners()
+        n = np.cross(b - a, c - a)
+        norm = np.linalg.norm(n, axis=1, keepdims=True)
+        return n / np.maximum(norm, 1e-300)
+
+    def centroids(self) -> np.ndarray:
+        a, b, c = self.corners()
+        return (a + b + c) / 3.0
+
+    def total_area(self) -> float:
+        return float(self.areas().sum())
+
+    def validate(self) -> None:
+        """Assert no degenerate (zero-area) triangles and finite data."""
+        assert np.all(np.isfinite(self.vertices)), "non-finite vertex"
+        assert np.all(self.areas() > 0), "degenerate triangle"
+
+
+def merge_meshes(meshes: list[TriangleMesh]) -> TriangleMesh:
+    """Concatenate meshes (no welding of coincident boundary vertices)."""
+    if not meshes:
+        raise ValueError("need at least one mesh")
+    verts = []
+    tris = []
+    off = 0
+    for m in meshes:
+        verts.append(m.vertices)
+        tris.append(m.triangles + off)
+        off += m.n_vertices
+    return TriangleMesh(np.concatenate(verts), np.concatenate(tris))
+
+
+def weld_vertices(mesh: TriangleMesh, tol: float = 1e-9) -> TriangleMesh:
+    """Merge vertices closer than ``tol`` (quantized-grid dedup) and drop
+    degenerate triangles; used after stitching parametric patches."""
+    keys = np.round(mesh.vertices / tol).astype(np.int64)
+    _, first, inverse = np.unique(keys, axis=0, return_index=True, return_inverse=True)
+    new_verts = mesh.vertices[first]
+    new_tris = inverse[mesh.triangles]
+    ok = (
+        (new_tris[:, 0] != new_tris[:, 1])
+        & (new_tris[:, 1] != new_tris[:, 2])
+        & (new_tris[:, 0] != new_tris[:, 2])
+    )
+    return TriangleMesh(new_verts, new_tris[ok])

@@ -1,0 +1,180 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Each subcommand regenerates one of the paper's tables/figures (or an
+ablation) and prints it in the format of
+:mod:`repro.analysis.tables`.  ``--scale full`` runs paper-scale
+instances (slow); the default ``small`` scale reproduces every shape in
+minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import fmt_count, format_series, format_table
+
+__all__ = ["main"]
+
+
+def _table1(args) -> str:
+    from .experiments import Table1Row, run_table1
+
+    if args.scale == "full":
+        structured = [4000, 8000, 16000, 32000, 64000]
+        unstructured = [("gaussian", 32000), ("overlapping_gaussians", 48000)]
+    else:
+        structured = [1000, 2000, 4000, 8000]
+        unstructured = [("gaussian", 4000), ("overlapping_gaussians", 6000)]
+    rows = run_table1(structured, unstructured, p0=args.p0, alpha=args.alpha)
+    out = [format_table(Table1Row.HEADERS, [r.as_list() for r in rows],
+                        title="Table 1 — error and multipole terms, original vs improved")]
+    for r in rows:
+        out.append(
+            f"  {r.distribution} n={r.n}: terms(new)/terms(orig) = "
+            f"{r.terms_new / r.terms_orig:.2f}, bound improvement = "
+            f"{r.bound_orig / r.bound_new:.1f}x"
+        )
+    return "\n".join(out)
+
+
+def _fig2(args) -> str:
+    from .experiments import run_fig2
+
+    sizes = (
+        [2000, 4000, 8000, 16000, 32000]
+        if args.scale == "full"
+        else [500, 1000, 2000, 4000, 8000]
+    )
+    data = run_fig2(sizes, p0=args.p0, alpha=args.alpha)
+    parts = ["Figure 2 — error and computational cost vs n"]
+    for name, (xs, ys) in data.series().items():
+        parts.append(format_series(name, xs, ys, xlabel="n", ylabel=name))
+    return "\n\n".join(parts)
+
+
+def _table2(args) -> str:
+    from .experiments import Table2Row, run_table2
+
+    problems = (
+        [("uniform40k", "uniform", 40000), ("non-uniform46k", "gaussian", 46000)]
+        if args.scale == "full"
+        else [("uniform8k", "uniform", 8000), ("non-uniform10k", "gaussian", 10000)]
+    )
+    rows = run_table2(problems, n_procs=32, p0=args.p0, alpha=args.alpha)
+    return format_table(
+        Table2Row.HEADERS,
+        [r.as_list() for r in rows],
+        title="Table 2 — runtimes and modeled speedups (P=32)",
+    )
+
+
+def _table3(args) -> str:
+    from .experiments import Table3Row, run_table3
+
+    res = (14, 7) if args.scale == "full" else (8, 4)
+    rows, gmres_info = run_table3(
+        p0=args.p0, alpha=0.5, propeller_res=res[0], gripper_res=res[1]
+    )
+    out = [
+        format_table(
+            Table3Row.HEADERS,
+            [r.as_list() for r in rows],
+            title="Table 3 — BEM single-iteration errors vs degree-9 reference",
+        )
+    ]
+    for name, info in gmres_info.items():
+        out.append(
+            f"  {name}: {info['elements']} elements, {info['nodes']} nodes; "
+            f"GMRES(10) {'converged' if info['converged'] else 'DID NOT converge'} "
+            f"in {info['iterations']} iterations"
+        )
+    return "\n".join(out)
+
+
+def _simple(runner, title):
+    def run(args) -> str:
+        headers, rows = runner()
+        return format_table(headers, rows, title=title)
+
+    return run
+
+
+def _cost_ratio(args) -> str:
+    from .experiments import run_cost_ratio
+
+    sizes = [2000, 8000, 32000] if args.scale == "full" else [1000, 4000, 8000]
+    headers, rows = run_cost_ratio(sizes, p0=args.p0, alpha=args.alpha)
+    return format_table(headers, rows, title="E6 — Theorem 5 cost-ratio check")
+
+
+def _alpha(args) -> str:
+    from .experiments import run_alpha_sweep
+
+    headers, rows = run_alpha_sweep(p0=args.p0)
+    return format_table(headers, rows, title="A1 — MAC parameter sweep")
+
+
+def _leaf(args) -> str:
+    from .experiments import run_leaf_sweep
+
+    headers, rows = run_leaf_sweep(p0=args.p0, alpha=args.alpha)
+    return format_table(headers, rows, title="A2 — leaf-capacity sweep")
+
+
+def _ordering(args) -> str:
+    from .experiments import run_ordering_study
+
+    headers, rows = run_ordering_study(alpha=args.alpha)
+    return format_table(headers, rows, title="A3 — block-ordering study")
+
+
+def _fmm(args) -> str:
+    from .experiments import run_fmm_extension
+
+    headers, rows = run_fmm_extension(p0=args.p0)
+    return format_table(headers, rows, title="A4 — FMM degree-schedule extension")
+
+
+_COMMANDS = {
+    "table1": _table1,
+    "fig2": _fig2,
+    "table2": _table2,
+    "table3": _table3,
+    "cost-ratio": _cost_ratio,
+    "alpha-sweep": _alpha,
+    "leaf-sweep": _leaf,
+    "ordering": _ordering,
+    "fmm": _fmm,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables, figures and ablations.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "full"],
+        default="small",
+        help="instance sizes: 'small' (minutes) or 'full' (paper scale)",
+    )
+    parser.add_argument("--p0", type=int, default=4, help="base multipole degree")
+    parser.add_argument("--alpha", type=float, default=0.4, help="MAC parameter")
+    args = parser.parse_args(argv)
+
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

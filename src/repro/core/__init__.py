@@ -1,0 +1,42 @@
+"""Core treecode: error-bound theory, degree policies, and the engine."""
+
+from .bounds import (
+    degree_for_tolerance,
+    degree_increment_per_level,
+    lemma1_ratio_bounds,
+    lemma2_interaction_count,
+    theorem1_bound,
+    theorem2_interaction_bound,
+    theorem3_degree,
+    theorem4_aggregate_error,
+    theorem5_cost_ratio,
+)
+from .degree import (
+    AdaptiveChargeDegree,
+    DegreePolicy,
+    FixedDegree,
+    LevelDegree,
+    ToleranceDegree,
+)
+from .treecode import InteractionLists, Treecode, TreecodeResult, TreecodeStats
+
+__all__ = [
+    "Treecode",
+    "TreecodeResult",
+    "TreecodeStats",
+    "InteractionLists",
+    "DegreePolicy",
+    "FixedDegree",
+    "AdaptiveChargeDegree",
+    "LevelDegree",
+    "ToleranceDegree",
+    "degree_for_tolerance",
+    "theorem1_bound",
+    "theorem2_interaction_bound",
+    "theorem3_degree",
+    "theorem4_aggregate_error",
+    "theorem5_cost_ratio",
+    "lemma1_ratio_bounds",
+    "lemma2_interaction_count",
+    "degree_increment_per_level",
+]

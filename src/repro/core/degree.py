@@ -1,0 +1,218 @@
+"""Multipole-degree selection policies.
+
+The *original* Barnes-Hut method uses one global degree
+(:class:`FixedDegree`).  The paper's improved method
+(:class:`AdaptiveChargeDegree`, Theorem 3) raises the degree of
+high-charge clusters so that every particle-cluster interaction carries
+the same error; :class:`LevelDegree` is the structured-distribution
+special case where charge is uniform and the degree depends only on the
+tree level.
+
+A policy maps a built :class:`~repro.tree.octree.Octree` to an integer
+evaluation degree per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tree.octree import Octree
+from .bounds import degree_for_tolerance, degree_increment_per_level, theorem3_degree
+
+__all__ = [
+    "DegreePolicy",
+    "FixedDegree",
+    "AdaptiveChargeDegree",
+    "LevelDegree",
+    "ToleranceDegree",
+]
+
+
+class DegreePolicy:
+    """Base class: assigns an evaluation degree to every tree node."""
+
+    def degrees(self, tree: Octree) -> np.ndarray:  # pragma: no cover - interface
+        """Return an ``(n_nodes,)`` int array of evaluation degrees."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedDegree(DegreePolicy):
+    """The original method: the same degree ``p`` for every cluster."""
+
+    p: int = 4
+
+    def __post_init__(self) -> None:
+        if self.p < 0:
+            raise ValueError(f"degree must be >= 0, got {self.p}")
+
+    def degrees(self, tree: Octree) -> np.ndarray:
+        return np.full(tree.n_nodes, self.p, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class AdaptiveChargeDegree(DegreePolicy):
+    """Theorem 3: per-cluster degree that equalizes interaction error.
+
+    Forcing the Theorem-2 bound to be equal across clusters gives
+
+    ``p_j = p0 + ceil( ln(rho_j / rho_0) / ln(1/alpha) )``
+
+    where ``rho_j`` measures how error-prone cluster ``j`` is and
+    ``rho_0`` is the anchor value at which degree ``p0`` suffices.  Two
+    normalizations are provided:
+
+    ``mode="bound"`` (default)
+        ``rho_j = A_j / a_j`` — the Theorem-2 bound evaluated at each
+        cluster's *worst accepted distance* ``r_j = a_j / alpha``
+        (``a_j`` is the enclosing radius): the bound becomes
+        ``A_j alpha^{p+2} / (a_j (1-alpha))``, so equalizing it uses the
+        charge *per radius*.  For uniform charge density ``A ∝ a^3``,
+        the degree grows by ``2 ln2 / ln(1/alpha)`` per level — this is
+        the schedule behind the paper's "within 7/3" cost claim.
+
+    ``mode="charge"``
+        ``rho_j = A_j`` — the literal statement of Theorem 3 (common
+        ``r`` factored out).  More conservative: degrees grow by
+        ``3 ln2 / ln(1/alpha)`` per level.
+
+    Parameters
+    ----------
+    p0:
+        Minimum degree (degree of the anchor cluster).
+    alpha:
+        The MAC parameter the treecode will run with; the degree
+        schedule depends on it through the error bound.
+    p_max:
+        Hard cap on the degree (the paper notes unstructured domains can
+        otherwise demand very large degrees; the cap corresponds to its
+        "threshold value" mitigation).
+    anchor:
+        ``"leaf_min"`` — the paper's "smallest net charge cluster at
+        lowest level": every interaction is pushed down to the error of
+        the best-resolved leaf interaction.  ``"leaf_median"``
+        (default) — the median leaf, robust to a single tiny outlier
+        leaf inflating every degree in unstructured distributions.
+    """
+
+    p0: int = 4
+    alpha: float = 0.5
+    p_max: int = 30
+    anchor: str = "leaf_median"
+    mode: str = "bound"
+
+    def __post_init__(self) -> None:
+        if self.p0 < 0:
+            raise ValueError(f"p0 must be >= 0, got {self.p0}")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.p_max < self.p0:
+            raise ValueError("p_max must be >= p0")
+        if self.anchor not in ("leaf_min", "leaf_median"):
+            raise ValueError(f"unknown anchor {self.anchor!r}")
+        if self.mode not in ("bound", "charge"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    def _rho(self, tree: Octree) -> np.ndarray:
+        """Error-proneness measure per node (see class docstring)."""
+        if self.mode == "charge":
+            return tree.abs_charge.astype(np.float64)
+        # Floor the radius at the typical leaf radius: a cluster tighter
+        # than an ordinary leaf is never harder to approximate than the
+        # anchor (near-degenerate radii — e.g. single-particle leaves —
+        # would otherwise send A/a, and hence the degree, to the cap).
+        leaves = tree.leaf_ids()
+        lr = tree.radius[leaves]
+        lr = lr[lr > 0]
+        a_floor = float(np.median(lr)) if lr.size else 1.0
+        rho = tree.abs_charge / np.maximum(tree.radius, a_floor)
+        return rho
+
+    def anchor_value(self, tree: Octree) -> float:
+        leaves = tree.leaf_ids()
+        rho = self._rho(tree)[leaves]
+        rho = rho[rho > 0]
+        if rho.size == 0:
+            return 1.0  # all-zero charges: degrees collapse to p0
+        return float(np.min(rho) if self.anchor == "leaf_min" else np.median(rho))
+
+    def degrees(self, tree: Octree) -> np.ndarray:
+        rho0 = self.anchor_value(tree)
+        return theorem3_degree(self._rho(tree), rho0, self.p0, self.alpha, self.p_max)
+
+
+@dataclass(frozen=True)
+class LevelDegree(DegreePolicy):
+    """Structured-distribution schedule: degree grows with box size.
+
+    For uniform charge density, ``A_j`` grows by 8× per level so
+    Theorem 3 reduces to ``p = p0 + ceil(c * (height-1 - level))`` with
+    ``c = 3 ln2 / ln(1/alpha)``.  Unlike
+    :class:`AdaptiveChargeDegree` this ignores the actual charges, which
+    makes it exactly reproducible for grid studies and cheap to compute.
+    """
+
+    p0: int = 4
+    alpha: float = 0.5
+    p_max: int = 30
+
+    def __post_init__(self) -> None:
+        if self.p0 < 0:
+            raise ValueError(f"p0 must be >= 0, got {self.p0}")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.p_max < self.p0:
+            raise ValueError("p_max must be >= p0")
+
+    def degrees(self, tree: Octree) -> np.ndarray:
+        c = degree_increment_per_level(self.alpha)
+        depth_above_leaf = (tree.height - 1) - tree.level
+        p = self.p0 + np.ceil(c * np.maximum(depth_above_leaf, 0)).astype(np.int64)
+        return np.clip(p, self.p0, self.p_max)
+
+
+@dataclass(frozen=True)
+class ToleranceDegree(DegreePolicy):
+    """Pick each cluster's degree from an absolute error tolerance.
+
+    The user-facing inverse of the analysis: given a per-interaction
+    tolerance ``tol``, each cluster gets the smallest degree whose
+    Theorem-1 bound at its worst accepted distance (``r = a/alpha``)
+    meets it.  This subsumes Theorem 3 (equal per-interaction error)
+    while letting callers specify the error budget directly instead of
+    anchoring at a leaf.
+
+    Parameters
+    ----------
+    tol:
+        Absolute per-interaction error tolerance.
+    alpha:
+        MAC parameter the treecode will run with.
+    p_min, p_max:
+        Degree clamps.
+    """
+
+    tol: float = 1e-6
+    alpha: float = 0.5
+    p_min: int = 1
+    p_max: int = 30
+
+    def __post_init__(self) -> None:
+        if self.tol <= 0:
+            raise ValueError(f"tol must be > 0, got {self.tol}")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not 0 <= self.p_min <= self.p_max:
+            raise ValueError("need 0 <= p_min <= p_max")
+
+    def degrees(self, tree: Octree) -> np.ndarray:
+        a = tree.radius
+        r = np.maximum(a / self.alpha, 1e-300)
+        p = degree_for_tolerance(tree.abs_charge, a, r, self.tol, p_max=self.p_max)
+        return np.clip(p, self.p_min, self.p_max)

@@ -1,0 +1,27 @@
+"""Workload generators (particle distributions and charge models)."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    lattice,
+    gaussian_blob,
+    make_distribution,
+    overlapping_gaussians,
+    plummer,
+    sphere_shell,
+    uniform_charges,
+    uniform_cube,
+    unit_charges,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "make_distribution",
+    "uniform_cube",
+    "lattice",
+    "gaussian_blob",
+    "overlapping_gaussians",
+    "sphere_shell",
+    "plummer",
+    "unit_charges",
+    "uniform_charges",
+]

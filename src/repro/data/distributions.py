@@ -1,0 +1,176 @@
+"""Particle distribution generators for the paper's experiments.
+
+The paper evaluates on "problem instances [that] range from uniform to
+highly irregular distributions in three dimensions":
+
+* ``uniform`` — "a random distribution of points distributed equally
+  across the domain" (the structured instances of Table 1);
+* ``gaussian`` — "generated using a Gaussian density function";
+* ``overlapping_gaussians`` — "overlapped Gaussian distributions
+  (multiple Gaussians superimposed)";
+
+plus two extras used by examples and ablations: a hollow ``sphere_shell``
+(the surface-concentrated distribution class of the BEM experiments) and
+the astrophysical ``plummer`` model (the paper's motivating application
+domain).
+
+All generators take a seeded ``numpy.random.Generator`` (or an int seed)
+so every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_cube",
+    "lattice",
+    "gaussian_blob",
+    "overlapping_gaussians",
+    "sphere_shell",
+    "plummer",
+    "unit_charges",
+    "uniform_charges",
+    "make_distribution",
+    "DISTRIBUTIONS",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_cube(n: int, seed=0, edge: float = 1.0) -> np.ndarray:
+    """``n`` points uniformly random in the cube ``[0, edge]^3``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return _rng(seed).random((n, 3)) * edge
+
+
+def lattice(n: int, seed=0, edge: float = 1.0, jitter: float = 0.0) -> np.ndarray:
+    """~``n`` points on a regular grid (the literal "structured" case).
+
+    The grid has ``ceil(n^(1/3))`` points per side, truncated to exactly
+    ``n``; optional ``jitter`` (fraction of the cell size) perturbs each
+    point, which breaks octree-degeneracy artifacts while keeping the
+    distribution structured.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    k = int(np.ceil(n ** (1.0 / 3.0)))
+    axes = (np.arange(k) + 0.5) / k
+    pts = np.stack(np.meshgrid(axes, axes, axes, indexing="ij"), axis=-1).reshape(-1, 3)
+    pts = pts[:n] * edge
+    if jitter > 0:
+        pts = pts + _rng(seed).uniform(-0.5, 0.5, pts.shape) * (jitter * edge / k)
+    return pts
+
+
+def gaussian_blob(n: int, seed=0, sigma: float = 0.15, center=(0.5, 0.5, 0.5)) -> np.ndarray:
+    """``n`` points from an isotropic Gaussian (an irregular instance)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return _rng(seed).normal(loc=center, scale=sigma, size=(n, 3))
+
+
+def overlapping_gaussians(
+    n: int,
+    seed=0,
+    n_blobs: int = 4,
+    sigma: float = 0.08,
+    edge: float = 1.0,
+) -> np.ndarray:
+    """Multiple superimposed Gaussians — the paper's most irregular class.
+
+    Blob centers are drawn uniformly in the central region of the cube;
+    points are split as evenly as possible between blobs.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n_blobs < 1:
+        raise ValueError(f"n_blobs must be >= 1, got {n_blobs}")
+    rng = _rng(seed)
+    centers = rng.random((n_blobs, 3)) * (0.6 * edge) + 0.2 * edge
+    counts = np.full(n_blobs, n // n_blobs)
+    counts[: n % n_blobs] += 1
+    parts = [
+        rng.normal(loc=c, scale=sigma, size=(k, 3)) for c, k in zip(centers, counts)
+    ]
+    pts = np.concatenate(parts, axis=0)
+    return pts[rng.permutation(n)]
+
+
+def sphere_shell(n: int, seed=0, radius: float = 0.5, thickness: float = 0.02) -> np.ndarray:
+    """Points near the surface of a sphere — mimics BEM node clouds
+    (bulk of the volume empty, particles on a 2-D manifold)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = _rng(seed)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    r = radius + rng.normal(scale=thickness, size=(n, 1))
+    return 0.5 + v * r
+
+
+def plummer(n: int, seed=0, scale: float = 0.1) -> np.ndarray:
+    """Plummer model — the standard astrophysical cluster profile.
+
+    Radius sampled by inverting the cumulative mass profile
+    ``M(r) = (1 + (a/r)^2)^{-3/2}``; direction isotropic.  Radii are
+    capped at 10 scale lengths to keep the octree depth bounded.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = _rng(seed)
+    m = rng.random(n) * 0.99 + 0.005
+    r = scale / np.sqrt(m ** (-2.0 / 3.0) - 1.0)
+    r = np.minimum(r, 10.0 * scale)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    return 0.5 + v * r[:, None]
+
+
+def unit_charges(n: int, seed=0, signed: bool = False) -> np.ndarray:
+    """Unit-magnitude charges; random ±1 signs when ``signed``.
+
+    Uniform charge density with all-positive charges is the regime where
+    the paper notes fixed-degree error "grows linearly with the
+    magnitude of charge in the system" (protein-simulation analogy).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not signed:
+        return np.ones(n)
+    return _rng(seed).choice([-1.0, 1.0], size=n)
+
+
+def uniform_charges(n: int, seed=0, lo: float = 0.5, hi: float = 1.5) -> np.ndarray:
+    """Charges uniform in ``[lo, hi]`` — uniform density with variation."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return _rng(seed).uniform(lo, hi, size=n)
+
+
+DISTRIBUTIONS = {
+    "uniform": uniform_cube,
+    "lattice": lattice,
+    "gaussian": gaussian_blob,
+    "overlapping_gaussians": overlapping_gaussians,
+    "sphere_shell": sphere_shell,
+    "plummer": plummer,
+}
+
+
+def make_distribution(name: str, n: int, seed=0, **kwargs) -> np.ndarray:
+    """Dispatch by name; see :data:`DISTRIBUTIONS` for choices."""
+    try:
+        gen = DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; choices: {sorted(DISTRIBUTIONS)}"
+        ) from None
+    return gen(n, seed=seed, **kwargs)

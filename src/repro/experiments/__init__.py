@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every experiment is a plain function returning structured rows, shared
+by the CLI (``python -m repro <experiment>``) and the benchmark suite
+(``pytest benchmarks/``).  See DESIGN.md for the experiment index.
+"""
+
+from .ablations import (
+    run_alpha_sweep,
+    run_cost_ratio,
+    run_fmm_extension,
+    run_leaf_sweep,
+    run_ordering_study,
+)
+from .fig2 import Fig2Data, run_fig2
+from .table1 import Table1Row, run_case, run_table1
+from .table2 import Table2Row, run_table2
+from .table3 import Table3Row, run_table3, run_table3_geometry
+
+__all__ = [
+    "run_table1",
+    "run_case",
+    "Table1Row",
+    "run_fig2",
+    "Fig2Data",
+    "run_table2",
+    "Table2Row",
+    "run_table3",
+    "run_table3_geometry",
+    "Table3Row",
+    "run_cost_ratio",
+    "run_alpha_sweep",
+    "run_leaf_sweep",
+    "run_ordering_study",
+    "run_fmm_extension",
+]

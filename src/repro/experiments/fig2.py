@@ -1,0 +1,58 @@
+"""Experiment E3 — Figure 2: error and cost vs n, both methods.
+
+The graphical companion of Table 1: four series over n —
+error(original), error(new), terms(original), terms(new) — plus the
+accumulated error bounds whose divergence is the paper's theoretical
+message ("the growth in error is much faster in the original method").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .table1 import run_case
+
+__all__ = ["Fig2Data", "run_fig2"]
+
+
+@dataclass
+class Fig2Data:
+    """The four series of Figure 2 (plus bound series)."""
+
+    n: list = field(default_factory=list)
+    err_orig: list = field(default_factory=list)
+    err_new: list = field(default_factory=list)
+    bound_orig: list = field(default_factory=list)
+    bound_new: list = field(default_factory=list)
+    terms_orig: list = field(default_factory=list)
+    terms_new: list = field(default_factory=list)
+
+    def series(self) -> dict:
+        return {
+            "error(original)": (self.n, self.err_orig),
+            "error(new)": (self.n, self.err_new),
+            "bound(original)": (self.n, self.bound_orig),
+            "bound(new)": (self.n, self.bound_new),
+            "terms(original)": (self.n, self.terms_orig),
+            "terms(new)": (self.n, self.terms_new),
+        }
+
+
+def run_fig2(
+    sizes: list[int] | None = None,
+    distribution: str = "uniform",
+    p0: int = 4,
+    alpha: float = 0.4,
+) -> Fig2Data:
+    sizes = [1000, 2000, 4000, 8000, 16000] if sizes is None else sizes
+    data = Fig2Data()
+    for n in sizes:
+        row = run_case(distribution, n, p0=p0, alpha=alpha)
+        data.n.append(n)
+        data.err_orig.append(row.err_orig)
+        data.err_new.append(row.err_new)
+        data.bound_orig.append(row.bound_orig)
+        data.bound_new.append(row.bound_new)
+        data.terms_orig.append(row.terms_orig)
+        data.terms_new.append(row.terms_new)
+    return data

@@ -1,0 +1,5 @@
+"""Fast Multipole Method extension (uniform octree, per-level degrees)."""
+
+from .engine import FMMStats, UniformFMM, level_degrees
+
+__all__ = ["UniformFMM", "FMMStats", "level_degrees"]

@@ -1,0 +1,25 @@
+"""Spherical-harmonic multipole machinery for the Laplace kernel."""
+
+from .expansion import l2p, m2p, m2p_rows, p2l, p2m
+from .gradient import l2p_grad, m2p_grad, m2p_grad_rows
+from .harmonics import cart_to_sph, coef_index, ncoef, sph_harmonics, term_count
+from .translations import l2l, m2l, m2m
+
+__all__ = [
+    "p2m",
+    "m2p",
+    "m2p_rows",
+    "p2l",
+    "l2p",
+    "m2m",
+    "m2l",
+    "l2l",
+    "m2p_grad",
+    "m2p_grad_rows",
+    "l2p_grad",
+    "ncoef",
+    "coef_index",
+    "term_count",
+    "sph_harmonics",
+    "cart_to_sph",
+]

@@ -1,0 +1,196 @@
+r"""Multipole and local expansions for the 3-D Laplace kernel ``1/r``.
+
+A degree-``p`` *multipole* expansion about a center ``c`` of charges
+``q_i`` at positions ``s_i`` (with ``rho_i = |s_i - c| < a``) is
+
+.. math::
+
+    M_n^m = \sum_i q_i \rho_i^n \, \overline{Y_n^m(\alpha_i, \beta_i)},
+    \qquad
+    \Phi(x) = \sum_{n=0}^{p} \sum_{m=-n}^{n}
+        \frac{M_n^m}{r^{n+1}} Y_n^m(\theta, \varphi)
+
+valid for ``r = |x - c| > a`` (Theorem 1 of the paper, due to Greengard
+and Rokhlin).  A *local* expansion about ``c`` stores coefficients
+``L_n^m`` with ``Phi(c + y) = sum L_n^m rho_y^n Y_n^m(theta_y, phi_y)``.
+
+Because charges are real, ``C_n^{-m} = conj(C_n^m)`` for both kinds of
+expansion, and only ``m >= 0`` coefficients are stored (packed layout of
+:mod:`repro.multipole.harmonics`).
+
+All routines are vectorized over sources and targets; evaluation of one
+expansion at many targets is a single dense matrix-vector product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harmonics import (
+    cart_to_sph,
+    coef_index,
+    degree_of_index,
+    ncoef,
+    power_table,
+    sph_harmonics,
+)
+
+__all__ = [
+    "p2m",
+    "p2m_terms",
+    "m2p",
+    "m2p_rows",
+    "p2l",
+    "l2p",
+    "m_weights",
+    "truncate",
+    "extend",
+]
+
+
+def m_weights(p: int) -> np.ndarray:
+    """Real-part weights per packed index: 1 for ``m = 0``, 2 for ``m > 0``.
+
+    Using conjugate symmetry, the full-``m`` sum collapses to
+    ``sum_m C_n^m F_n^m = C_n^0 F_n^0 + 2 Re sum_{m>0} C_n^m F_n^m``.
+    """
+    _, ms = degree_of_index(p)
+    return np.where(ms == 0, 1.0, 2.0)
+
+
+def p2m(rel_pos: np.ndarray, q: np.ndarray, p: int) -> np.ndarray:
+    """Form multipole coefficients from point charges.
+
+    Parameters
+    ----------
+    rel_pos:
+        ``(n, 3)`` positions relative to the expansion center.
+    q:
+        ``(n,)`` charges.
+    p:
+        Expansion degree.
+
+    Returns
+    -------
+    Packed complex coefficient array of length ``ncoef(p)``.
+    """
+    rel_pos = np.asarray(rel_pos, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    rho, ct, phi = cart_to_sph(rel_pos)
+    Y = sph_harmonics(ct, phi, p)  # (n, ncoef)
+    ns, _ = degree_of_index(p)
+    rpow = power_table(rho, p)[:, ns]  # (n, ncoef)
+    return np.einsum("i,ic,ic->c", q, rpow, np.conj(Y))
+
+
+def p2m_terms(rel_pos: np.ndarray, q: np.ndarray, p: int) -> np.ndarray:
+    """Per-particle multipole contributions (before summing).
+
+    Row ``i`` is ``q_i rho_i^n conj(Y_n^m)`` — summing rows of a cluster
+    gives its :func:`p2m` coefficients.  Used to form expansions for
+    many clusters at once with segmented reductions.
+    """
+    rel_pos = np.asarray(rel_pos, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    rho, ct, phi = cart_to_sph(rel_pos)
+    Y = sph_harmonics(ct, phi, p)
+    ns, _ = degree_of_index(p)
+    rpow = power_table(rho, p)[:, ns]
+    return q[:, None] * rpow * np.conj(Y)
+
+
+def m2p(coeffs: np.ndarray, rel_targets: np.ndarray, p: int) -> np.ndarray:
+    """Evaluate a multipole expansion at targets (relative to its center).
+
+    Targets must be outside the sphere enclosing the sources for the
+    series to converge; this is the caller's (MAC's) responsibility.
+
+    Returns the real potential, shape ``(t,)``.
+    """
+    rel_targets = np.asarray(rel_targets, dtype=np.float64)
+    r, ct, phi = cart_to_sph(rel_targets)
+    Y = sph_harmonics(ct, phi, p)  # (t, ncoef)
+    ns, _ = degree_of_index(p)
+    rinv = 1.0 / r
+    rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
+    w = m_weights(p)
+    return np.real((Y * rpow) @ (w * np.asarray(coeffs)[: ncoef(p)]))
+
+
+def m2p_rows(coeff_rows: np.ndarray, rel_targets: np.ndarray, p: int) -> np.ndarray:
+    """Evaluate a *different* multipole expansion per target.
+
+    This is the hot path of the treecode: the traversal produces a flat
+    list of (cluster, target) interaction pairs, and after grouping by
+    degree each pair carries its own coefficient row.
+
+    Parameters
+    ----------
+    coeff_rows:
+        ``(t, >= ncoef(p))`` packed coefficients, row ``i`` belonging to
+        target ``i`` (typically a gather ``coeff_matrix[node_ids]``).
+    rel_targets:
+        ``(t, 3)`` target positions relative to each pair's expansion
+        center.
+    p:
+        Evaluation degree (rows are truncated to ``ncoef(p)``).
+
+    Returns
+    -------
+    ``(t,)`` real potentials.
+    """
+    rel_targets = np.asarray(rel_targets, dtype=np.float64)
+    r, ct, phi = cart_to_sph(rel_targets)
+    Y = sph_harmonics(ct, phi, p)  # (t, ncoef)
+    ns, _ = degree_of_index(p)
+    rinv = 1.0 / r
+    rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
+    w = m_weights(p)
+    C = np.asarray(coeff_rows)[:, : ncoef(p)]
+    return np.einsum("tc,tc,tc->t", Y.real, rpow, C.real * w) - np.einsum(
+        "tc,tc,tc->t", Y.imag, rpow, C.imag * w
+    )
+
+
+def p2l(rel_pos: np.ndarray, q: np.ndarray, p: int) -> np.ndarray:
+    """Form a local expansion directly from distant point charges.
+
+    For a charge at ``u`` (relative to the local center, ``|u|`` larger
+    than the evaluation radius), ``L_n^m = q conj(Y_n^m(u)) / |u|^{n+1}``.
+    """
+    rel_pos = np.asarray(rel_pos, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    rho, ct, phi = cart_to_sph(rel_pos)
+    Y = sph_harmonics(ct, phi, p)
+    ns, _ = degree_of_index(p)
+    rinv = 1.0 / rho
+    rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
+    return np.einsum("i,ic,ic->c", q, rpow, np.conj(Y))
+
+
+def l2p(coeffs: np.ndarray, rel_targets: np.ndarray, p: int) -> np.ndarray:
+    """Evaluate a local expansion at targets (relative to its center)."""
+    rel_targets = np.asarray(rel_targets, dtype=np.float64)
+    rho, ct, phi = cart_to_sph(rel_targets)
+    Y = sph_harmonics(ct, phi, p)
+    ns, _ = degree_of_index(p)
+    rpow = power_table(rho, p)[:, ns]
+    w = m_weights(p)
+    return np.real((Y * rpow) @ (w * np.asarray(coeffs)[: ncoef(p)]))
+
+
+def truncate(coeffs: np.ndarray, p_from: int, p_to: int) -> np.ndarray:
+    """Truncate packed coefficients from degree ``p_from`` down to ``p_to``."""
+    if p_to > p_from:
+        raise ValueError(f"cannot truncate degree {p_from} up to {p_to}")
+    return np.asarray(coeffs)[..., : ncoef(p_to)]
+
+
+def extend(coeffs: np.ndarray, p_from: int, p_to: int) -> np.ndarray:
+    """Zero-pad packed coefficients from degree ``p_from`` up to ``p_to``."""
+    if p_to < p_from:
+        raise ValueError(f"cannot extend degree {p_from} down to {p_to}")
+    coeffs = np.asarray(coeffs)
+    out = np.zeros(coeffs.shape[:-1] + (ncoef(p_to),), dtype=np.complex128)
+    out[..., : ncoef(p_from)] = coeffs
+    return out

@@ -1,0 +1,152 @@
+r"""Greengard-normalized spherical harmonics and coefficient packing.
+
+Convention (Greengard & Rokhlin, *J. Comp. Phys.* 73, 1987):
+
+.. math::
+
+    Y_n^m(\theta, \varphi) = \sqrt{\frac{(n-|m|)!}{(n+|m|)!}}
+        \; P_n^{|m|}(\cos\theta) \; e^{i m \varphi}
+
+with the associated Legendre functions of :mod:`repro.multipole.legendre`
+(no Condon-Shortley phase).  Because all charges are real, every
+expansion satisfies the conjugate symmetry ``C_n^{-m} = conj(C_n^m)``,
+so we only store ``m >= 0``.
+
+Packed layout
+-------------
+Coefficients for degree ``p`` are stored as a complex array of length
+``ncoef(p) = (p+1)(p+2)/2`` with ``idx(n, m) = n(n+1)/2 + m``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .legendre import legendre_table
+
+__all__ = [
+    "ncoef",
+    "coef_index",
+    "degree_of_index",
+    "norm_table",
+    "cart_to_sph",
+    "sph_harmonics",
+    "term_count",
+    "power_table",
+]
+
+
+def power_table(x: np.ndarray, p: int) -> np.ndarray:
+    """Powers ``x^0 .. x^p`` along a new trailing axis.
+
+    Built with ``multiply.accumulate`` — one multiplication per entry,
+    far cheaper than ``x[..., None] ** arange(p+1)`` which evaluates a
+    transcendental ``pow`` per element.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty(x.shape + (p + 1,), dtype=np.float64)
+    out[..., 0] = 1.0
+    if p >= 1:
+        out[..., 1:] = x[..., None]
+        np.multiply.accumulate(out[..., 1:], axis=-1, out=out[..., 1:])
+    return out
+
+
+def ncoef(p: int) -> int:
+    """Number of packed (m >= 0) coefficients of a degree-``p`` expansion."""
+    if p < 0:
+        raise ValueError(f"degree must be >= 0, got {p}")
+    return (p + 1) * (p + 2) // 2
+
+
+def coef_index(n: int, m: int) -> int:
+    """Packed index of coefficient ``(n, m)`` with ``0 <= m <= n``."""
+    if not 0 <= m <= n:
+        raise ValueError(f"need 0 <= m <= n, got (n={n}, m={m})")
+    return n * (n + 1) // 2 + m
+
+
+@lru_cache(maxsize=None)
+def _nm_arrays(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Arrays of (n, m) per packed index for degree ``p``."""
+    ns = np.concatenate([np.full(n + 1, n, dtype=np.int64) for n in range(p + 1)])
+    ms = np.concatenate([np.arange(n + 1, dtype=np.int64) for n in range(p + 1)])
+    return ns, ms
+
+
+def degree_of_index(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(n, m)`` arrays indexed by packed coefficient index."""
+    return _nm_arrays(p)
+
+
+@lru_cache(maxsize=None)
+def norm_table(p: int) -> np.ndarray:
+    """Packed array of normalizations ``sqrt((n-m)!/(n+m)!)``.
+
+    Computed by the stable product form
+    ``sqrt((n-m)!/(n+m)!) = prod_{k=n-m+1}^{n+m} k^{-1/2}``.
+    """
+    out = np.empty(ncoef(p), dtype=np.float64)
+    for n in range(p + 1):
+        val = 1.0
+        out[coef_index(n, 0)] = 1.0
+        for m in range(1, n + 1):
+            # ratio (n-m)!/(n+m)! = previous ratio / ((n+m)(n-m+1))
+            val /= (n + m) * (n - m + 1)
+            out[coef_index(n, m)] = np.sqrt(val)
+    return out
+
+
+def cart_to_sph(xyz: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert Cartesian offsets to spherical ``(r, cosθ, φ)``.
+
+    ``cosθ`` is returned instead of ``θ`` because every consumer feeds
+    it straight into the Legendre recurrences.  At the origin
+    ``cosθ = 1`` and ``φ = 0`` by convention.
+    """
+    xyz = np.asarray(xyz, dtype=np.float64)
+    r = np.sqrt(np.einsum("...i,...i->...", xyz, xyz))
+    safe = np.maximum(r, 1e-300)
+    ct = np.clip(xyz[..., 2] / safe, -1.0, 1.0)
+    phi = np.arctan2(xyz[..., 1], xyz[..., 0])
+    return r, ct, phi
+
+
+def sph_harmonics(costheta: np.ndarray, phi: np.ndarray, p: int) -> np.ndarray:
+    """Packed spherical harmonics ``Y_n^m`` for ``m >= 0``.
+
+    Parameters
+    ----------
+    costheta, phi:
+        Broadcast-compatible arrays of angles.
+    p:
+        Maximum degree.
+
+    Returns
+    -------
+    Complex array of shape ``broadcast.shape + (ncoef(p),)``.
+    """
+    costheta = np.asarray(costheta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    costheta, phi = np.broadcast_arrays(costheta, phi)
+    P = legendre_table(costheta, p)  # (..., p+1, p+1)
+    ns, ms = _nm_arrays(p)
+    norms = norm_table(p)
+    # exp(i m phi) for m = 0..p, shape (..., p+1)
+    e = np.exp(1j * phi[..., None] * np.arange(p + 1))
+    Y = P[..., ns, ms] * norms * e[..., ms]
+    return Y
+
+
+def term_count(p: int) -> int:
+    """Number of multipole terms of a degree-``p`` expansion, ``(p+1)^2``.
+
+    This is the metric the paper reports ("number of multipole terms
+    evaluated"): a full expansion of degree ``p`` has ``(p+1)^2`` terms
+    counting all ``-n <= m <= n``.
+    """
+    if p < 0:
+        raise ValueError(f"degree must be >= 0, got {p}")
+    return (p + 1) * (p + 1)

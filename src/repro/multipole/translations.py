@@ -1,0 +1,273 @@
+"""Translation operators: M2M, M2L, L2L (batched, vectorized).
+
+The operators are expressed as 2-D "triangular convolutions" over the
+``(n, m)`` index grid after rescaling coefficients by
+``i^{±|m|} sqrt((n-m)!(n+m)!)^{±1}`` — the classic
+Greengard/Epton-Dembart trick.  With the conventions of
+:mod:`repro.multipole.harmonics` (validated numerically against direct
+summation in the test suite), the addition theorems are:
+
+* **M2M** — with ``R_n^m(v) = rho^n conj(Y_n^m)`` (the "charge basis",
+  so that ``M_n^m = sum_i q_i R_n^m(s_i)``):
+
+  ``R_n^m(s + t) = sum_{j,k} W(n,m,j,k) R_j^k(s) R_{n-j}^{m-k}(t)``,
+  ``W = i^{|m|-|k|-|m-k|} sq(n,m) / (sq(j,k) sq(n-j,m-k))``,
+  ``sq(n,m) = sqrt((n-m)!(n+m)!)``.
+
+* **M2L** — for a multipole at displacement ``d`` from the local center:
+
+  ``L_j^k = i^{-|k|}/sq(j,k) * sum_{n,m} [(-1)^n i^{-|m|}/sq(n,m) M_n^m]
+  * [i^{|m-k|} sq(j+n, m-k) Y_{j+n}^{m-k}(d) / |d|^{j+n+1}]``.
+
+* **L2L** — shifting a local expansion by ``t`` (old center to new):
+
+  ``L'_j^k = i^{-|k|}/sq(j,k) * sum_{nu,mu}
+  [i^{-|mu|}/sq(nu,mu) E_nu^mu(t)] * [i^{|m|} sq(n,m) L_n^m]`` with
+  ``n = j+nu, m = k+mu`` and ``E_n^m(v) = rho^n Y_n^m``.
+
+All i-power exponents are even (``|m|``, ``|k|`` and ``|m-k|`` share the
+parity of ``m - k + k``), so every operator is real-linear despite the
+complex intermediates.
+
+Batching: every function accepts ``(B, ncoef)`` coefficient arrays and
+``(B, 3)`` shift vectors and processes all ``B`` translations in one
+vectorized pass — this is how the octree upward pass translates all
+children of a level at once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .harmonics import cart_to_sph, ncoef, sph_harmonics
+
+__all__ = ["m2m", "m2l", "l2l", "to_full_grid", "from_full_grid"]
+
+
+@lru_cache(maxsize=None)
+def _sq_grid(p: int) -> np.ndarray:
+    """Grid of ``sqrt((n-m)!(n+m)!)`` with shape ``(p+1, 2p+1)``.
+
+    The m-axis index ``mm`` corresponds to ``m = mm - p``; entries with
+    ``|m| > n`` are set to 1 (they multiply zeros).
+    """
+    out = np.ones((p + 1, 2 * p + 1), dtype=np.float64)
+    fact = [1.0]
+    for k in range(1, 2 * p + 1):
+        fact.append(fact[-1] * k)
+    for n in range(p + 1):
+        for m in range(-n, n + 1):
+            out[n, m + p] = np.sqrt(fact[n - abs(m)] * fact[n + abs(m)])
+    return out
+
+
+@lru_cache(maxsize=None)
+def _iphase_grid(p: int, sign: int) -> np.ndarray:
+    """Grid of ``i^{sign*|m|}`` with shape ``(p+1, 2p+1)``."""
+    m = np.abs(np.arange(-p, p + 1))
+    row = (1j) ** ((sign * m) % 4)
+    return np.broadcast_to(row, (p + 1, 2 * p + 1)).copy()
+
+
+@lru_cache(maxsize=None)
+def _valid_mask(p: int) -> np.ndarray:
+    """Boolean grid marking valid ``|m| <= n`` entries."""
+    n = np.arange(p + 1)[:, None]
+    m = np.abs(np.arange(-p, p + 1))[None, :]
+    return m <= n
+
+
+def to_full_grid(packed: np.ndarray, p: int) -> np.ndarray:
+    """Expand packed ``m >= 0`` coefficients to the full ``(n, m)`` grid.
+
+    Input shape ``(..., ncoef(p))``; output ``(..., p+1, 2p+1)`` with the
+    m-axis offset by ``p`` and negative-m entries filled by conjugate
+    symmetry.
+    """
+    packed = np.asarray(packed)
+    lead = packed.shape[:-1]
+    out = np.zeros(lead + (p + 1, 2 * p + 1), dtype=np.complex128)
+    idx = 0
+    for n in range(p + 1):
+        for m in range(n + 1):
+            out[..., n, p + m] = packed[..., idx]
+            if m > 0:
+                out[..., n, p - m] = np.conj(packed[..., idx])
+            idx += 1
+    return out
+
+
+def from_full_grid(full: np.ndarray, p: int) -> np.ndarray:
+    """Pack the ``m >= 0`` entries of a full grid (inverse of :func:`to_full_grid`)."""
+    full = np.asarray(full)
+    lead = full.shape[:-2]
+    out = np.empty(lead + (ncoef(p),), dtype=np.complex128)
+    idx = 0
+    for n in range(p + 1):
+        for m in range(n + 1):
+            out[..., idx] = full[..., n, p + m]
+            idx += 1
+    return out
+
+
+def _regular_grid(shifts: np.ndarray, p: int, conj: bool) -> np.ndarray:
+    """Full grid of ``rho^n Y_n^m(angles)`` (``conj=False``) or
+    ``rho^n conj(Y_n^m)`` = ``R_n^m`` (``conj=True``) for each shift.
+
+    Shape ``(B, p+1, 2p+1)``.
+    """
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    rho, ct, phi = cart_to_sph(shifts)
+    Y = sph_harmonics(ct, phi, p)  # (B, ncoef)
+    if conj:
+        Y = np.conj(Y)
+    full = to_full_grid(Y, p)
+    npow = rho[:, None] ** np.arange(p + 1)[None, :]
+    return full * npow[:, :, None]
+
+
+def _singular_grid(shifts: np.ndarray, p: int) -> np.ndarray:
+    """Full grid of ``Y_n^m(angles) / rho^{n+1}`` for each shift."""
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    rho, ct, phi = cart_to_sph(shifts)
+    Y = sph_harmonics(ct, phi, p)
+    full = to_full_grid(Y, p)
+    npow = (1.0 / rho)[:, None] ** (np.arange(p + 1)[None, :] + 1)
+    return full * npow[:, :, None]
+
+
+def m2m(coeffs: np.ndarray, shifts: np.ndarray, p: int) -> np.ndarray:
+    """Translate multipole expansions to new centers.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(B, ncoef(p))`` packed child coefficients (or ``(ncoef,)``).
+    shifts:
+        ``(B, 3)`` vectors *from the new (parent) center to the old
+        (child) center*, i.e. ``child_center - parent_center``.
+    p:
+        Expansion degree (exact: parent coefficients up to degree ``p``
+        depend only on child coefficients up to ``p``).
+
+    Returns
+    -------
+    ``(B, ncoef(p))`` packed parent contributions (sum over children to
+    assemble a parent expansion).
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.complex128))
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    B = coeffs.shape[0]
+    sq = _sq_grid(p)
+    mask = _valid_mask(p)
+
+    Mfull = to_full_grid(coeffs, p)
+    mtil = Mfull * (_iphase_grid(p, -1) / sq) * mask
+    R = _regular_grid(shifts, p, conj=True)
+    btil = R * (_iphase_grid(p, -1) / sq) * mask
+
+    out = np.zeros_like(Mfull)
+    W = 2 * p + 1
+    for j in range(p + 1):
+        for k in range(-j, j + 1):
+            b = btil[:, j, k + p]
+            o_lo = max(0, k)
+            o_hi = W + min(0, k)
+            out[:, j : p + 1, o_lo:o_hi] += (
+                b[:, None, None] * mtil[:, 0 : p + 1 - j, o_lo - k : o_hi - k]
+            )
+    out *= _iphase_grid(p, +1) * sq
+    out *= mask
+    return from_full_grid(out, p)
+
+
+def m2l(coeffs: np.ndarray, d: np.ndarray, p_src: int, p_loc: int | None = None) -> np.ndarray:
+    """Convert multipole expansions into local expansions.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(B, ncoef(p_src))`` packed multipole coefficients.
+    d:
+        ``(B, 3)`` vectors *from the local center to the multipole
+        center*.  ``|d|`` must exceed both expansion radii.
+    p_src, p_loc:
+        Source and local degrees (``p_loc`` defaults to ``p_src``).
+
+    Returns
+    -------
+    ``(B, ncoef(p_loc))`` packed local coefficients.
+    """
+    if p_loc is None:
+        p_loc = p_src
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.complex128))
+    d = np.atleast_2d(np.asarray(d, dtype=np.float64))
+    B = coeffs.shape[0]
+    ps, pl = p_src, p_loc
+    ptot = ps + pl
+
+    sq_s = _sq_grid(ps)
+    mask_s = _valid_mask(ps)
+    Mfull = to_full_grid(coeffs, ps)
+    signs = (-1.0) ** np.arange(ps + 1)
+    mhat = Mfull * (_iphase_grid(ps, -1) / sq_s) * signs[None, :, None] * mask_s
+
+    S = _singular_grid(d, ptot)
+    shat = S * (_iphase_grid(ptot, +1) * _sq_grid(ptot)) * _valid_mask(ptot)
+
+    Lhat = np.zeros((B, pl + 1, 2 * pl + 1), dtype=np.complex128)
+    C = ptot  # mu-axis offset of shat
+    for n in range(ps + 1):
+        for m in range(-n, n + 1):
+            a = mhat[:, n, m + ps]
+            # mu = m - k for k in [-pl, pl] -> slice reversed along mu.
+            sl = shat[:, n : n + pl + 1, m - pl + C : m + pl + C + 1][:, :, ::-1]
+            Lhat += a[:, None, None] * sl
+    sq_l = _sq_grid(pl)
+    Lfull = Lhat * (_iphase_grid(pl, -1) / sq_l)
+    Lfull *= _valid_mask(pl)
+    return from_full_grid(Lfull, pl)
+
+
+def l2l(coeffs: np.ndarray, shifts: np.ndarray, p: int) -> np.ndarray:
+    """Re-center local expansions.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(B, ncoef(p))`` packed local coefficients about the old center.
+    shifts:
+        ``(B, 3)`` vectors *from the old center to the new center*.
+    p:
+        Degree (exact operation).
+
+    Returns
+    -------
+    ``(B, ncoef(p))`` packed local coefficients about the new centers.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.complex128))
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    B = coeffs.shape[0]
+    sq = _sq_grid(p)
+    mask = _valid_mask(p)
+
+    Lfull = to_full_grid(coeffs, p)
+    a = Lfull * (_iphase_grid(p, +1) * sq) * mask
+    E = _regular_grid(shifts, p, conj=False)
+    c = E * (_iphase_grid(p, -1) / sq) * mask
+
+    out = np.zeros_like(Lfull)
+    W = 2 * p + 1
+    for nu in range(p + 1):
+        for mu in range(-nu, nu + 1):
+            cv = c[:, nu, mu + p]
+            o_lo = max(0, -mu)
+            o_hi = W - max(0, mu)
+            out[:, 0 : p + 1 - nu, o_lo:o_hi] += (
+                cv[:, None, None] * a[:, nu : p + 1, o_lo + mu : o_hi + mu]
+            )
+    out *= _iphase_grid(p, -1) / sq
+    out *= mask
+    return from_full_grid(out, p)

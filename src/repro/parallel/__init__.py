@@ -1,0 +1,18 @@
+"""Parallel treecode: w-block partitioning, executors, machine model."""
+
+from .executors import ParallelResult, evaluate_parallel, original_points
+from .machine import MachineModel, SimulationResult, schedule_blocks, simulate
+from .partition import BlockProfile, make_blocks, profile_blocks
+
+__all__ = [
+    "make_blocks",
+    "profile_blocks",
+    "BlockProfile",
+    "evaluate_parallel",
+    "ParallelResult",
+    "original_points",
+    "MachineModel",
+    "SimulationResult",
+    "simulate",
+    "schedule_blocks",
+]

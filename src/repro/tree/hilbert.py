@@ -1,0 +1,164 @@
+"""3-D Peano-Hilbert keys (Skilling's transpose algorithm, vectorized).
+
+The paper's parallel formulation sorts particles in a
+"proximity-preserving order (a Peano-Hilbert ordering)" before
+aggregating blocks of ``w`` consecutive particles into work units for
+the threads.  Hilbert order has strictly better locality than Morton
+order (no long jumps between octants), which is what makes the
+w-aggregation produce well-balanced, spatially-compact blocks.
+
+This module implements John Skilling's compact conversion between axis
+coordinates and the "transpose" representation of the Hilbert index
+(Skilling, *Programming the Hilbert curve*, AIP Conf. Proc. 707, 2004),
+vectorized over NumPy arrays, plus packing of the transpose form into a
+single ``uint64`` key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .morton import interleave3, deinterleave3, quantize, MAX_DEPTH
+
+__all__ = [
+    "axes_to_transpose",
+    "transpose_to_axes",
+    "hilbert_key_from_grid",
+    "grid_from_hilbert_key",
+    "hilbert_key",
+    "hilbert_order",
+]
+
+
+def axes_to_transpose(grid: np.ndarray, bits: int) -> np.ndarray:
+    """Convert grid coordinates to the Hilbert "transpose" representation.
+
+    Parameters
+    ----------
+    grid:
+        ``(n, 3)`` unsigned integer coordinates, each in ``[0, 2**bits)``.
+    bits:
+        Bits per dimension.
+
+    Returns
+    -------
+    ``(n, 3)`` array: the Hilbert index of each point, distributed
+    bitwise across three words (bit ``b`` of the index lives in word
+    ``b % 3`` at position ``b // 3``).
+    """
+    x = np.array(grid, dtype=np.uint64, copy=True)
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise ValueError(f"grid must have shape (n, 3), got {x.shape}")
+    n = 3
+    m = np.uint64(1) << np.uint64(bits - 1)
+
+    # Inverse undo of the Hilbert transform.
+    q = m
+    one = np.uint64(1)
+    while q > one:
+        p = q - one
+        for i in range(n):
+            hi = (x[:, i] & q) != 0
+            # Where the bit is set: invert low bits of x[:,0].
+            x[hi, 0] ^= p
+            # Where it is clear: exchange low bits of x[:,0] and x[:,i].
+            t = (x[:, 0] ^ x[:, i]) & p
+            t[hi] = 0
+            x[:, 0] ^= t
+            x[:, i] ^= t
+        q >>= one
+
+    # Gray encode.
+    for i in range(1, n):
+        x[:, i] ^= x[:, i - 1]
+    t = np.zeros(x.shape[0], dtype=np.uint64)
+    q = m
+    while q > one:
+        nz = (x[:, n - 1] & q) != 0
+        t[nz] ^= q - one
+        q >>= one
+    for i in range(n):
+        x[:, i] ^= t
+    return x
+
+
+def transpose_to_axes(transpose: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`axes_to_transpose`."""
+    x = np.array(transpose, dtype=np.uint64, copy=True)
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise ValueError(f"transpose must have shape (n, 3), got {x.shape}")
+    n = 3
+    one = np.uint64(1)
+    m = np.uint64(1) << np.uint64(bits)
+
+    # Gray decode by halving.
+    t = x[:, n - 1] >> one
+    for i in range(n - 1, 0, -1):
+        x[:, i] ^= x[:, i - 1]
+    x[:, 0] ^= t
+
+    # Undo excess work.
+    q = np.uint64(2)
+    while q != m:
+        p = q - one
+        for i in range(n - 1, -1, -1):
+            hi = (x[:, i] & q) != 0
+            x[hi, 0] ^= p
+            t2 = (x[:, 0] ^ x[:, i]) & p
+            t2[hi] = 0
+            x[:, 0] ^= t2
+            x[:, i] ^= t2
+        q <<= one
+    return x
+
+
+def hilbert_key_from_grid(grid: np.ndarray, bits: int) -> np.ndarray:
+    """Pack grid coordinates into scalar Hilbert keys (``uint64``).
+
+    The transpose words are interleaved bitwise, with word 0 carrying
+    the most significant bit of each 3-bit group, matching Skilling's
+    ordering convention.
+    """
+    if bits < 1 or bits > MAX_DEPTH:
+        raise ValueError(f"bits must be in [1, {MAX_DEPTH}], got {bits}")
+    tr = axes_to_transpose(grid, bits)
+    # interleave3 is LSB-aligned: bits-wide words give a 3*bits-wide key.
+    return interleave3(tr[:, 0], tr[:, 1], tr[:, 2])
+
+
+def grid_from_hilbert_key(keys: np.ndarray, bits: int) -> np.ndarray:
+    """Unpack scalar Hilbert keys back into grid coordinates."""
+    a, b, c = deinterleave3(np.asarray(keys, dtype=np.uint64))
+    tr = np.stack([a, b, c], axis=-1)
+    return transpose_to_axes(tr, bits)
+
+
+def hilbert_key(points: np.ndarray, lo, hi, bits: int = 16) -> np.ndarray:
+    """Compute scalar Hilbert keys for points in the domain ``[lo, hi]^3``."""
+    grid = quantize(points, lo, hi, bits)
+    return hilbert_key_from_grid(grid, bits)
+
+
+def hilbert_order(points: np.ndarray, lo=None, hi=None, bits: int = 16) -> np.ndarray:
+    """Return the permutation that sorts ``points`` into Peano-Hilbert order.
+
+    If ``lo``/``hi`` are omitted the bounding box of the points is used.
+    This is the proximity-preserving ordering used by the parallel
+    treecode formulation.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if lo is None:
+        lo = points.min(axis=0)
+    if hi is None:
+        hi = points.max(axis=0)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    # Guard degenerate (planar / collinear) data: give flat dimensions
+    # a tiny positive extent so quantize() accepts the box.
+    extent = hi - lo
+    flat = extent <= 0
+    if np.any(flat):
+        pad = max(1e-12, float(extent.max()) * 1e-12) if extent.max() > 0 else 1.0
+        hi = hi + flat * pad
+    keys = hilbert_key(points, lo, hi, bits)
+    return np.argsort(keys, kind="stable")

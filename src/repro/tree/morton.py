@@ -1,0 +1,177 @@
+"""3-D Morton (Z-order) keys.
+
+Morton keys interleave the bits of quantized x/y/z coordinates so that
+sorting particles by key groups them into the leaves of an octree: the
+top ``3*d`` bits of a key identify the octree node that contains the
+point at depth ``d``.  The adaptive octree in :mod:`repro.tree.octree`
+is built directly on top of a Morton sort, which makes every tree node a
+contiguous slice of the particle arrays.
+
+All routines are vectorized over NumPy arrays and operate on ``uint64``
+keys.  With the default ``MAX_DEPTH = 20`` bits per dimension the key
+occupies 60 bits, leaving headroom in a ``uint64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAX_DEPTH",
+    "quantize",
+    "dequantize",
+    "interleave3",
+    "deinterleave3",
+    "morton_key",
+    "morton_decode",
+    "octant_at_depth",
+    "key_range_of_node",
+]
+
+#: Maximum supported octree depth (bits per dimension).
+MAX_DEPTH = 20
+
+# Magic numbers that spread the low 21 bits of an integer so that two
+# zero bits separate each original bit ("bit smearing"), the standard
+# constant-time alternative to a per-bit loop.
+_MASKS = (
+    np.uint64(0x1FFFFF),
+    np.uint64(0x1F00000000FFFF),
+    np.uint64(0x1F0000FF0000FF),
+    np.uint64(0x100F00F00F00F00F),
+    np.uint64(0x10C30C30C30C30C3),
+    np.uint64(0x1249249249249249),
+)
+
+
+def quantize(points: np.ndarray, lo: np.ndarray, hi: np.ndarray, depth: int = MAX_DEPTH) -> np.ndarray:
+    """Map points in the box ``[lo, hi]^3`` to integer grid coordinates.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` float array.
+    lo, hi:
+        Bounds of the (cubic or rectangular) domain.  Points are clamped
+        into the box, so callers may pass the exact bounding box of the
+        data without worrying about round-off at the upper face.
+    depth:
+        Number of bits per dimension; the grid has ``2**depth`` cells per
+        side.
+
+    Returns
+    -------
+    ``(n, 3)`` ``uint64`` array of grid coordinates in ``[0, 2**depth)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must have shape (n, 3), got {points.shape}")
+    if depth < 1 or depth > MAX_DEPTH:
+        raise ValueError(f"depth must be in [1, {MAX_DEPTH}], got {depth}")
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    extent = hi - lo
+    if np.any(extent <= 0):
+        raise ValueError("domain must have positive extent in every dimension")
+    ncells = 1 << depth
+    scaled = (points - lo) / extent * ncells
+    grid = np.floor(scaled).astype(np.int64)
+    np.clip(grid, 0, ncells - 1, out=grid)
+    return grid.astype(np.uint64)
+
+
+def dequantize(grid: np.ndarray, lo: np.ndarray, hi: np.ndarray, depth: int = MAX_DEPTH) -> np.ndarray:
+    """Map integer grid coordinates back to cell-center points (inverse of :func:`quantize` up to cell size)."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    ncells = 1 << depth
+    return lo + (np.asarray(grid, dtype=np.float64) + 0.5) / ncells * (hi - lo)
+
+
+def _spread(v: np.ndarray) -> np.ndarray:
+    """Insert two zero bits between each of the low 21 bits of ``v``."""
+    v = v & _MASKS[0]
+    v = (v | (v << np.uint64(32))) & _MASKS[1]
+    v = (v | (v << np.uint64(16))) & _MASKS[2]
+    v = (v | (v << np.uint64(8))) & _MASKS[3]
+    v = (v | (v << np.uint64(4))) & _MASKS[4]
+    v = (v | (v << np.uint64(2))) & _MASKS[5]
+    return v
+
+
+def _compact(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread`: gather every third bit into the low bits."""
+    v = v & _MASKS[5]
+    v = (v | (v >> np.uint64(2))) & _MASKS[4]
+    v = (v | (v >> np.uint64(4))) & _MASKS[3]
+    v = (v | (v >> np.uint64(8))) & _MASKS[2]
+    v = (v | (v >> np.uint64(16))) & _MASKS[1]
+    v = (v | (v >> np.uint64(32))) & _MASKS[0]
+    return v
+
+
+def interleave3(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Interleave three integer coordinate arrays into Morton keys.
+
+    Bit layout (most significant first): ``x_19 y_19 z_19 x_18 ...`` so
+    that lexicographic key order equals depth-first octree order with
+    octant digit ``4*x_bit + 2*y_bit + 1*z_bit``.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    y = np.asarray(y, dtype=np.uint64)
+    z = np.asarray(z, dtype=np.uint64)
+    return (_spread(x) << np.uint64(2)) | (_spread(y) << np.uint64(1)) | _spread(z)
+
+
+def deinterleave3(key: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover the three coordinate arrays from Morton keys."""
+    key = np.asarray(key, dtype=np.uint64)
+    return (
+        _compact(key >> np.uint64(2)),
+        _compact(key >> np.uint64(1)),
+        _compact(key),
+    )
+
+
+def morton_key(points: np.ndarray, lo, hi, depth: int = MAX_DEPTH) -> np.ndarray:
+    """Compute Morton keys for points in the domain ``[lo, hi]^3``."""
+    grid = quantize(points, lo, hi, depth)
+    # Left-align a shallower quantization so keys at any depth share a
+    # common prefix structure at MAX_DEPTH granularity.
+    if depth < MAX_DEPTH:
+        grid = grid << np.uint64(MAX_DEPTH - depth)
+    return interleave3(grid[:, 0], grid[:, 1], grid[:, 2])
+
+
+def morton_decode(keys: np.ndarray, lo, hi, depth: int = MAX_DEPTH) -> np.ndarray:
+    """Decode Morton keys back into cell-center coordinates."""
+    x, y, z = deinterleave3(keys)
+    if depth < MAX_DEPTH:
+        shift = np.uint64(MAX_DEPTH - depth)
+        x, y, z = x >> shift, y >> shift, z >> shift
+    grid = np.stack([x, y, z], axis=-1)
+    return dequantize(grid, lo, hi, depth)
+
+
+def octant_at_depth(keys: np.ndarray, depth: int) -> np.ndarray:
+    """Extract the 3-bit octant digit used at tree level ``depth``.
+
+    Level 1 corresponds to the root's children (the most significant
+    digit of the key).
+    """
+    if depth < 1 or depth > MAX_DEPTH:
+        raise ValueError(f"depth must be in [1, {MAX_DEPTH}], got {depth}")
+    shift = np.uint64(3 * (MAX_DEPTH - depth))
+    return ((np.asarray(keys, dtype=np.uint64) >> shift) & np.uint64(7)).astype(np.int64)
+
+
+def key_range_of_node(prefix: int, depth: int) -> tuple[int, int]:
+    """Half-open Morton key range ``[start, end)`` of the node whose
+    path from the root is encoded by ``prefix`` (3 bits per level,
+    ``depth`` levels)."""
+    if depth < 0 or depth > MAX_DEPTH:
+        raise ValueError(f"depth must be in [0, {MAX_DEPTH}], got {depth}")
+    width = 3 * (MAX_DEPTH - depth)
+    start = prefix << width
+    end = (prefix + 1) << width
+    return start, end

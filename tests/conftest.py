@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cloud(rng):
+    """A small random particle cloud with mixed-sign charges."""
+    pts = rng.random((300, 3))
+    q = rng.uniform(-1.0, 1.0, 300)
+    return pts, q
+
+
+@pytest.fixture
+def positive_cloud(rng):
+    """A small cloud with strictly positive charges (uniform density)."""
+    pts = rng.random((400, 3))
+    q = rng.uniform(0.5, 1.5, 400)
+    return pts, q

@@ -1,0 +1,110 @@
+"""Tests for the single-layer operator and BEM solves."""
+
+import numpy as np
+import pytest
+
+from repro.bem import (
+    SingleLayerOperator,
+    capacitance,
+    icosphere,
+    nodal_integral,
+    solve_dirichlet,
+)
+from repro.core.degree import AdaptiveChargeDegree, FixedDegree
+
+
+@pytest.fixture(scope="module")
+def sphere():
+    return icosphere(2)  # 162 vertices, 320 triangles
+
+
+def test_operator_shape_and_charges(sphere):
+    op = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(5))
+    assert op.shape == (162, 162)
+    sigma = np.ones(162)
+    q = op.charges_for(sigma)
+    # total charge = area / 4pi for unit density
+    assert q.sum() == pytest.approx(sphere.total_area() / (4 * np.pi), rel=1e-12)
+    with pytest.raises(ValueError):
+        op.charges_for(np.ones(10))
+
+
+def test_matvec_matches_dense(sphere, rng):
+    op = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(9), alpha=0.4)
+    A = op.dense_matrix()
+    x = rng.random(sphere.n_vertices)
+    tv = op.matvec(x)
+    dv = A @ x
+    assert np.linalg.norm(tv - dv) / np.linalg.norm(dv) < 1e-5
+    assert op.n_matvecs == 1
+    assert op.stats.n_terms > 0
+
+
+def test_exact_potential_matches_dense(sphere, rng):
+    op = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(4))
+    A = op.dense_matrix()
+    x = rng.random(sphere.n_vertices)
+    assert np.allclose(op.exact_potential(x), A @ x, rtol=1e-12)
+
+
+def test_operator_linearity(sphere, rng):
+    op = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(6))
+    x = rng.random(sphere.n_vertices)
+    y = rng.random(sphere.n_vertices)
+    lhs = op.matvec(2 * x + 3 * y)
+    rhs = 2 * op.matvec(x) + 3 * op.matvec(y)
+    assert np.allclose(lhs, rhs, rtol=1e-10)
+
+
+def test_sphere_capacitance(sphere):
+    """Unit sphere capacitance is 4π with the 1/(4π r) kernel."""
+    C, sol = capacitance(sphere, n_gauss=6, degree_policy=FixedDegree(6), alpha=0.5)
+    assert sol.gmres.converged
+    assert C == pytest.approx(4 * np.pi, rel=0.01)
+
+
+def test_sphere_density_uniform(sphere):
+    """The equilibrium density on a sphere is constant (= 1/radius for
+    unit potential)."""
+    sol = solve_dirichlet(sphere, 1.0, n_gauss=6, degree_policy=FixedDegree(6))
+    sigma = sol.sigma
+    assert sigma.std() / sigma.mean() < 0.02
+    assert sigma.mean() == pytest.approx(1.0, rel=0.02)
+
+
+def test_capacitance_scales_with_radius():
+    m1 = icosphere(1, radius=1.0)
+    m2 = icosphere(1, radius=2.0)
+    C1, _ = capacitance(m1, n_gauss=3, degree_policy=FixedDegree(5))
+    C2, _ = capacitance(m2, n_gauss=3, degree_policy=FixedDegree(5))
+    assert C2 / C1 == pytest.approx(2.0, rel=0.01)
+
+
+def test_adaptive_policy_reaches_reference_accuracy(sphere, rng):
+    """Improved method matvec vs degree-9 reference (the paper's Table-3
+    methodology): adaptive should be closer to reference than fixed p0."""
+    x = rng.random(sphere.n_vertices)
+    ref = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(9), alpha=0.5)
+    vref = ref.matvec(x)
+    fixed = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(4), alpha=0.5)
+    adaptive = SingleLayerOperator(
+        sphere, n_gauss=3, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5), alpha=0.5
+    )
+    e_fix = np.linalg.norm(fixed.matvec(x) - vref) / np.linalg.norm(vref)
+    e_ada = np.linalg.norm(adaptive.matvec(x) - vref) / np.linalg.norm(vref)
+    assert e_ada < e_fix
+
+
+def test_nodal_integral():
+    m = icosphere(2)
+    # integral of 1 over the surface = total area
+    assert nodal_integral(m, np.ones(m.n_vertices)) == pytest.approx(m.total_area())
+    with pytest.raises(ValueError):
+        nodal_integral(m, np.ones(3))
+
+
+def test_gmres_history_recorded(sphere):
+    sol = solve_dirichlet(sphere, 1.0, n_gauss=3, degree_policy=FixedDegree(5), tol=1e-8)
+    assert sol.gmres.converged
+    assert sol.gmres.history[-1] <= 1e-8
+    assert sol.operator.n_matvecs >= sol.gmres.n_iterations

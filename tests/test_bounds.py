@@ -1,0 +1,148 @@
+"""Tests for the error-bound theory module (Theorems 1-5, Lemmas 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    degree_increment_per_level,
+    lemma1_ratio_bounds,
+    lemma2_interaction_count,
+    theorem1_bound,
+    theorem2_interaction_bound,
+    theorem3_degree,
+    theorem4_aggregate_error,
+    theorem5_cost_ratio,
+)
+
+
+def test_theorem1_basic_values():
+    # A=1, a=0.5, r=2, p=3: 1/(1.5) * (0.25)^4
+    b = theorem1_bound(1.0, 0.5, 2.0, 3)
+    assert b == pytest.approx((0.25**4) / 1.5)
+
+
+def test_theorem1_invalid_geometry_is_inf():
+    assert np.isinf(theorem1_bound(1.0, 1.0, 0.5, 3))
+    assert np.isinf(theorem1_bound(1.0, 1.0, 1.0, 3))
+
+
+def test_theorem1_monotone_in_p():
+    ps = np.arange(0, 10)
+    bounds = theorem1_bound(2.0, 0.3, 1.0, ps)
+    assert np.all(np.diff(bounds) < 0)
+
+
+def test_theorem1_linear_in_A():
+    assert theorem1_bound(4.0, 0.3, 1.0, 5) == pytest.approx(
+        4 * theorem1_bound(1.0, 0.3, 1.0, 5)
+    )
+
+
+def test_theorem2_reduces_from_theorem1():
+    """At the MAC boundary a = alpha*r, Thm 2 equals Thm 1."""
+    alpha, r, p, A = 0.5, 2.0, 4, 3.0
+    t1 = theorem1_bound(A, alpha * r, r, p)
+    t2 = theorem2_interaction_bound(A, r, alpha, p)
+    assert t1 == pytest.approx(t2)
+
+
+def test_theorem2_dominates_theorem1_inside_mac():
+    """For any accepted geometry (a <= alpha*r) Thm 2 >= Thm 1."""
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        alpha = rng.uniform(0.2, 0.9)
+        r = rng.uniform(0.5, 10)
+        a = rng.uniform(0, alpha * r)
+        p = rng.integers(0, 12)
+        assert theorem2_interaction_bound(1.0, r, alpha, p) >= theorem1_bound(
+            1.0, a, r, p
+        ) * (1 - 1e-12)
+
+
+def test_theorem2_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        theorem2_interaction_bound(1.0, 1.0, 1.0, 3)
+    with pytest.raises(ValueError):
+        theorem2_interaction_bound(1.0, 1.0, -0.1, 3)
+
+
+def test_lemma1_bounds():
+    lo, hi = lemma1_ratio_bounds(0.5)
+    assert lo == pytest.approx(2.0)
+    assert hi == pytest.approx(5.0)
+    # bounds tighten (ratio -> 2) as alpha -> 0
+    lo2, hi2 = lemma1_ratio_bounds(0.01)
+    assert hi2 / lo2 < hi / lo
+    with pytest.raises(ValueError):
+        lemma1_ratio_bounds(1.5)
+
+
+def test_lemma2_count_positive_and_monotone():
+    c1 = lemma2_interaction_count(0.3)
+    c2 = lemma2_interaction_count(0.6)
+    assert c1 > 0 and c2 > 0
+    # larger alpha -> nearer interactions allowed -> thinner annulus in
+    # units of the box, but 1/alpha shell radius shrinks; just sanity-check
+    # the magnitudes are "constants" (not astronomically large)
+    assert c1 < 1e5 and c2 < 1e4
+
+
+def test_theorem3_degree_anchor():
+    """Anchor cluster gets exactly p0."""
+    p = theorem3_degree(np.array([1.0]), 1.0, 4, 0.5)
+    assert p[0] == 4
+
+
+def test_theorem3_degree_octuple_charge():
+    """8x the charge at alpha=1/2 needs 3 more degrees (ceil(log2 8))."""
+    p = theorem3_degree(np.array([8.0]), 1.0, 4, 0.5)
+    assert p[0] == 7
+
+
+def test_theorem3_monotone_and_clamped():
+    A = np.array([0.1, 1.0, 10.0, 1e6, 1e30])
+    p = theorem3_degree(A, 1.0, 3, 0.5, p_max=12)
+    assert np.all(np.diff(p) >= 0)
+    assert p[0] == 3  # below anchor charge never drops below p0
+    assert p[-1] == 12  # clamped
+    with pytest.raises(ValueError):
+        theorem3_degree(A, 0.0, 3, 0.5)
+    with pytest.raises(ValueError):
+        theorem3_degree(A, 1.0, 3, 1.2)
+
+
+def test_theorem3_equalizes_bound():
+    """The selected degrees make A * alpha^(p+1) roughly equal (within one
+    degree's worth of slack, from the ceiling)."""
+    alpha = 0.5
+    A = np.array([1.0, 5.0, 40.0, 300.0])
+    p = theorem3_degree(A, 1.0, 4, alpha, p_max=40)
+    vals = A * alpha ** (p + 1.0)
+    anchor = 1.0 * alpha ** 5.0
+    assert np.all(vals <= anchor * (1 + 1e-12))
+    assert np.all(vals >= anchor * alpha * (1 - 1e-12))
+
+
+def test_degree_increment_per_level():
+    # alpha = 1/2: 3 ln2/ln2 = 3 per level
+    assert degree_increment_per_level(0.5) == pytest.approx(3.0)
+    # alpha = 1/8: 1 per level
+    assert degree_increment_per_level(0.125) == pytest.approx(1.0)
+
+
+def test_theorem4_scales_with_height():
+    e1 = theorem4_aggregate_error(1e-6, 5, 0.5)
+    e2 = theorem4_aggregate_error(1e-6, 10, 0.5)
+    assert e2 == pytest.approx(2 * e1)
+
+
+def test_theorem5_cost_ratio_regimes():
+    """The ratio is ~1 for shallow trees and stays below ~7/3 in the
+    paper's practical regime (p0 = 6-7, heights up to ~p0+1)."""
+    assert theorem5_cost_ratio(6, 0.125, 1) == pytest.approx(1.0)
+    for p0 in (6, 7):
+        for h in range(2, p0 + 2):
+            assert theorem5_cost_ratio(p0, 0.125, h) < 7.0 / 3.0 + 1e-9
+    # ratio grows with height
+    r = [theorem5_cost_ratio(6, 0.125, h) for h in (2, 5, 8, 12)]
+    assert np.all(np.diff(r) > 0)

@@ -1,0 +1,65 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+import repro.cli as cli
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["does-not-exist"])
+
+
+def test_missing_argument_rejected():
+    with pytest.raises(SystemExit):
+        cli.main([])
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["table1", "--scale", "gigantic"])
+
+
+def test_all_commands_registered():
+    assert set(cli._COMMANDS) == {
+        "table1",
+        "fig2",
+        "table2",
+        "table3",
+        "cost-ratio",
+        "alpha-sweep",
+        "leaf-sweep",
+        "ordering",
+        "fmm",
+    }
+
+
+def test_dispatch_and_options(monkeypatch, capsys):
+    """main() parses options, dispatches, and prints the command output."""
+    seen = {}
+
+    def fake(args):
+        seen["scale"] = args.scale
+        seen["p0"] = args.p0
+        seen["alpha"] = args.alpha
+        return "FAKE-TABLE-OUTPUT"
+
+    monkeypatch.setitem(cli._COMMANDS, "table1", fake)
+    rc = cli.main(["table1", "--scale", "full", "--p0", "5", "--alpha", "0.3"])
+    assert rc == 0
+    assert seen == {"scale": "full", "p0": 5, "alpha": 0.3}
+    assert "FAKE-TABLE-OUTPUT" in capsys.readouterr().out
+
+
+def test_all_runs_every_command(monkeypatch, capsys):
+    calls = []
+    for name in list(cli._COMMANDS):
+        monkeypatch.setitem(
+            cli._COMMANDS, name, lambda args, n=name: calls.append(n) or f"out-{n}"
+        )
+    rc = cli.main(["all"])
+    assert rc == 0
+    assert sorted(calls) == sorted(cli._COMMANDS)
+    out = capsys.readouterr().out
+    for name in cli._COMMANDS:
+        assert f"out-{name}" in out

@@ -1,0 +1,57 @@
+"""Tests for growth-rate fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import fit_log_growth, fit_power_law, growth_factor
+
+
+def test_power_law_exact():
+    x = np.array([1e3, 4e3, 1.6e4, 6.4e4])
+    y = 2.5 * x**0.67
+    beta, c = fit_power_law(x, y)
+    assert beta == pytest.approx(0.67, rel=1e-10)
+    assert c == pytest.approx(2.5, rel=1e-10)
+
+
+def test_power_law_noisy():
+    rng = np.random.default_rng(0)
+    x = np.logspace(2, 5, 12)
+    y = 0.3 * x**1.5 * np.exp(rng.normal(scale=0.05, size=12))
+    beta, _ = fit_power_law(x, y)
+    assert beta == pytest.approx(1.5, abs=0.1)
+
+
+def test_log_growth_exact():
+    x = np.array([10.0, 100.0, 1000.0])
+    y = 3.0 * np.log(x) + 7.0
+    a, b = fit_log_growth(x, y)
+    assert a == pytest.approx(3.0)
+    assert b == pytest.approx(7.0)
+
+
+def test_log_vs_power_discrimination():
+    """A log-growing series fits a tiny power-law exponent."""
+    x = np.logspace(3, 6, 10)
+    y_log = np.log(x)
+    beta, _ = fit_power_law(x, y_log)
+    assert beta < 0.3  # much flatter than any polynomial growth
+
+
+def test_growth_factor():
+    assert growth_factor([2.0, 4.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        growth_factor([1.0])
+    with pytest.raises(ValueError):
+        growth_factor([0.0, 1.0])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        fit_power_law([1.0], [2.0])
+    with pytest.raises(ValueError):
+        fit_power_law([1.0, -2.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        fit_log_growth([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError):
+        fit_log_growth([0.0, 2.0], [1.0, 2.0])

@@ -1,0 +1,117 @@
+"""Tests for degree-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree import AdaptiveChargeDegree, FixedDegree, LevelDegree
+from repro.tree.octree import build_octree
+
+
+@pytest.fixture
+def tree(rng):
+    pts = rng.random((1500, 3))
+    q = rng.uniform(0.5, 1.5, 1500)
+    return build_octree(pts, q, leaf_size=8)
+
+
+def test_fixed_degree(tree):
+    d = FixedDegree(5).degrees(tree)
+    assert d.shape == (tree.n_nodes,)
+    assert np.all(d == 5)
+    with pytest.raises(ValueError):
+        FixedDegree(-1)
+
+
+def test_adaptive_monotone_up_the_tree(tree):
+    """A parent aggregates at least a child's charge, so with the 'charge'
+    normalization its degree is >= every child's."""
+    pol = AdaptiveChargeDegree(p0=4, alpha=0.5, mode="charge", anchor="leaf_min")
+    d = pol.degrees(tree)
+    for i in range(tree.n_nodes):
+        if tree.n_children[i]:
+            assert np.all(d[i] >= d[tree.children(i)])
+
+
+def test_adaptive_floor_is_p0(tree):
+    d = AdaptiveChargeDegree(p0=3, alpha=0.5).degrees(tree)
+    assert d.min() >= 3
+    leaves = tree.leaf_ids()
+    # some leaf must sit at the floor (at or below the anchor)
+    assert d[leaves].min() == 3
+
+
+def test_adaptive_cap(tree):
+    d = AdaptiveChargeDegree(p0=4, alpha=0.5, p_max=6, mode="charge", anchor="leaf_min").degrees(tree)
+    assert d.max() <= 6
+
+
+def test_adaptive_root_grows_with_system_charge(rng):
+    """Same geometry, 100x charges: anchor scales too, so degrees are
+    invariant to a global charge rescale (the bound ratio is what matters)."""
+    pts = rng.random((800, 3))
+    q = rng.uniform(0.5, 1.5, 800)
+    t1 = build_octree(pts, q)
+    t2 = build_octree(pts, 100.0 * q)
+    pol = AdaptiveChargeDegree(p0=4, alpha=0.5)
+    assert np.array_equal(pol.degrees(t1), pol.degrees(t2))
+
+
+def test_adaptive_alpha_effect(tree):
+    """Smaller alpha means faster-converging series: fewer extra degrees."""
+    d_tight = AdaptiveChargeDegree(p0=4, alpha=0.3).degrees(tree)
+    d_loose = AdaptiveChargeDegree(p0=4, alpha=0.7).degrees(tree)
+    assert d_tight.max() <= d_loose.max()
+    assert d_tight.sum() <= d_loose.sum()
+
+
+def test_adaptive_zero_charges(rng):
+    pts = rng.random((100, 3))
+    tree0 = build_octree(pts, np.zeros(100))
+    d = AdaptiveChargeDegree(p0=4, alpha=0.5).degrees(tree0)
+    assert np.all(d == 4)
+
+
+def test_adaptive_single_particle_leaves_not_inflated(rng):
+    """Near-zero-radius clusters must not hit the degree cap (regression:
+    single-particle leaves have radius ~1e-17 from center round-off)."""
+    pts = rng.random((300, 3))
+    q = np.ones(300)
+    tree = build_octree(pts, q, leaf_size=1)
+    d = AdaptiveChargeDegree(p0=4, alpha=0.5, p_max=30).degrees(tree)
+    leaves = tree.leaf_ids()
+    assert d[leaves].max() <= 8  # leaves are all ~unit charge
+
+
+def test_adaptive_validation():
+    with pytest.raises(ValueError):
+        AdaptiveChargeDegree(p0=-1)
+    with pytest.raises(ValueError):
+        AdaptiveChargeDegree(alpha=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveChargeDegree(p0=5, p_max=4)
+    with pytest.raises(ValueError):
+        AdaptiveChargeDegree(anchor="nope")
+    with pytest.raises(ValueError):
+        AdaptiveChargeDegree(mode="nope")
+
+
+def test_level_degree_schedule(tree):
+    pol = LevelDegree(p0=4, alpha=0.5)
+    d = pol.degrees(tree)
+    # leaves at the deepest level get exactly p0
+    deepest = tree.nodes_at_level(tree.height - 1)
+    assert np.all(d[deepest] == 4)
+    # root gets p0 + ceil(c*(height-1))
+    from repro.core.bounds import degree_increment_per_level
+
+    c = degree_increment_per_level(0.5)
+    assert d[0] == min(30, 4 + int(np.ceil(c * (tree.height - 1))))
+
+
+def test_level_degree_validation():
+    with pytest.raises(ValueError):
+        LevelDegree(p0=-2)
+    with pytest.raises(ValueError):
+        LevelDegree(alpha=0.0)
+    with pytest.raises(ValueError):
+        LevelDegree(p0=9, p_max=5)

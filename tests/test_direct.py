@@ -1,0 +1,106 @@
+"""Tests for the direct O(n²) reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.direct import direct_gradient, direct_potential, pairwise_potential
+
+
+def brute_potential(pts, q):
+    n = len(q)
+    out = np.zeros(n)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                out[i] += q[j] / np.linalg.norm(pts[i] - pts[j])
+    return out
+
+
+def test_matches_bruteforce(rng):
+    pts = rng.random((40, 3))
+    q = rng.uniform(-1, 1, 40)
+    assert np.allclose(direct_potential(pts, q), brute_potential(pts, q), rtol=1e-12)
+
+
+def test_chunking_consistency(rng):
+    """Results must not depend on the chunk size."""
+    import repro.direct as d
+
+    pts = rng.random((500, 3))
+    q = rng.uniform(-1, 1, 500)
+    full = direct_potential(pts, q)
+    old = d._CHUNK_BUDGET
+    try:
+        d._CHUNK_BUDGET = 1000  # force many tiny chunks
+        small = direct_potential(pts, q)
+    finally:
+        d._CHUNK_BUDGET = old
+    # reduction blocking may differ at the ULP level between chunk shapes
+    assert np.allclose(full, small, rtol=1e-13, atol=1e-13)
+
+
+def test_external_targets(rng):
+    pts = rng.random((100, 3))
+    q = rng.uniform(-1, 1, 100)
+    tgt = rng.random((20, 3)) + 5.0
+    out = direct_potential(pts, q, targets=tgt)
+    expected = np.array([np.sum(q / np.linalg.norm(t - pts, axis=1)) for t in tgt])
+    assert np.allclose(out, expected, rtol=1e-12)
+
+
+def test_gradient_matches_finite_difference(rng):
+    pts = rng.random((60, 3))
+    q = rng.uniform(-1, 1, 60)
+    tgt = rng.random((10, 3)) + 2.0
+    g = direct_gradient(pts, q, targets=tgt)
+    h = 1e-6
+    for i in range(3):
+        e = np.zeros(3)
+        e[i] = h
+        fd = (
+            direct_potential(pts, q, targets=tgt + e)
+            - direct_potential(pts, q, targets=tgt - e)
+        ) / (2 * h)
+        assert np.allclose(g[:, i], fd, rtol=1e-5, atol=1e-8)
+
+
+def test_self_gradient_excludes_self(rng):
+    pts = rng.random((30, 3))
+    q = rng.uniform(0.5, 1, 30)
+    g = direct_gradient(pts, q)
+    assert np.all(np.isfinite(g))
+
+
+def test_pairwise_exclude(rng):
+    pts = rng.random((10, 3))
+    q = rng.uniform(0.5, 1, 10)
+    # excluding source j for target i removes exactly q_j/r_ij
+    full = pairwise_potential(pts[:3], pts, q)
+    excl2 = pairwise_potential(pts[:3], pts, q, exclude=np.array([5, 6, -1]))
+    assert excl2[0] == pytest.approx(full[0] - q[5] / np.linalg.norm(pts[0] - pts[5]))
+    assert excl2[1] == pytest.approx(full[1] - q[6] / np.linalg.norm(pts[1] - pts[6]))
+    assert excl2[2] == pytest.approx(full[2])
+
+
+def test_coincident_points_masked():
+    pts = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    q = np.array([1.0, 2.0, 3.0])
+    out = direct_potential(pts, q)
+    # coincident pair contributes nothing to each other
+    assert out[0] == pytest.approx(3.0)
+    assert out[1] == pytest.approx(3.0)
+    assert out[2] == pytest.approx(3.0)
+
+
+def test_symmetry_energy(rng):
+    """Total interaction energy sum q_i phi_i is symmetric: equals
+    2 * sum_{i<j} q_i q_j / r_ij."""
+    pts = rng.random((50, 3))
+    q = rng.uniform(-1, 1, 50)
+    phi = direct_potential(pts, q)
+    e1 = float(q @ phi)
+    e2 = 0.0
+    for i in range(50):
+        for j in range(i + 1, 50):
+            e2 += 2 * q[i] * q[j] / np.linalg.norm(pts[i] - pts[j])
+    assert e1 == pytest.approx(e2, rel=1e-10)

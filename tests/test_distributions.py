@@ -1,0 +1,84 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    DISTRIBUTIONS,
+    gaussian_blob,
+    make_distribution,
+    overlapping_gaussians,
+    plummer,
+    sphere_shell,
+    uniform_charges,
+    uniform_cube,
+    unit_charges,
+)
+
+
+def test_shapes_and_determinism():
+    for name in DISTRIBUTIONS:
+        a = make_distribution(name, 500, seed=7)
+        b = make_distribution(name, 500, seed=7)
+        c = make_distribution(name, 500, seed=8)
+        assert a.shape == (500, 3)
+        assert np.array_equal(a, b)
+        if name != "lattice":  # the unjittered lattice ignores the seed
+            assert not np.array_equal(a, c)
+
+
+def test_uniform_cube_bounds():
+    pts = uniform_cube(2000, seed=0, edge=3.0)
+    assert pts.min() >= 0 and pts.max() <= 3.0
+    # roughly uniform: each octant holds ~1/8 of the mass
+    oct_counts = np.histogramdd(pts, bins=(2, 2, 2), range=[(0, 3)] * 3)[0]
+    assert oct_counts.min() > 150
+
+
+def test_gaussian_concentration():
+    pts = gaussian_blob(2000, seed=0, sigma=0.1)
+    d = np.linalg.norm(pts - 0.5, axis=1)
+    assert np.median(d) < 0.3  # concentrated near the center
+
+
+def test_overlapping_gaussians_multimodal():
+    pts = overlapping_gaussians(3000, seed=1, n_blobs=4, sigma=0.05)
+    assert pts.shape == (3000, 3)
+    # spread should exceed a single blob's sigma by a lot
+    assert pts.std(axis=0).max() > 0.1
+
+
+def test_sphere_shell_radius():
+    pts = sphere_shell(1000, seed=0, radius=0.5, thickness=0.01)
+    r = np.linalg.norm(pts - 0.5, axis=1)
+    assert abs(np.median(r) - 0.5) < 0.02
+    assert r.std() < 0.05
+
+
+def test_plummer_profile():
+    pts = plummer(5000, seed=0, scale=0.1)
+    r = np.linalg.norm(pts - 0.5, axis=1)
+    # half-mass radius of a Plummer sphere is ~1.3 scale lengths
+    assert 0.05 < np.median(r) < 0.3
+    assert r.max() <= 1.0 + 1e-9  # capped at 10 scale lengths
+
+
+def test_charges():
+    q = unit_charges(100)
+    assert np.all(q == 1.0)
+    qs = unit_charges(1000, seed=0, signed=True)
+    assert set(np.unique(qs)) == {-1.0, 1.0}
+    assert abs(qs.sum()) < 200  # roughly balanced
+    qu = uniform_charges(1000, seed=0, lo=0.5, hi=1.5)
+    assert qu.min() >= 0.5 and qu.max() <= 1.5
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        make_distribution("nope", 10)
+    with pytest.raises(ValueError):
+        uniform_cube(0)
+    with pytest.raises(ValueError):
+        overlapping_gaussians(10, n_blobs=0)
+    with pytest.raises(ValueError):
+        unit_charges(0)

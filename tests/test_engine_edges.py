@@ -1,0 +1,120 @@
+"""Edge-case and robustness tests for the treecode engine."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveChargeDegree, FixedDegree, Treecode, direct_potential
+
+
+def test_two_particles():
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+    q = np.array([2.0, -3.0])
+    res = Treecode(pts, q, degree_policy=FixedDegree(2)).evaluate()
+    d = np.sqrt(3.0)
+    assert res.potential[0] == pytest.approx(-3.0 / d)
+    assert res.potential[1] == pytest.approx(2.0 / d)
+
+
+def test_all_zero_charges(rng):
+    pts = rng.random((200, 3))
+    res = Treecode(pts, np.zeros(200), degree_policy=FixedDegree(4)).evaluate()
+    assert np.allclose(res.potential, 0.0)
+
+
+def test_mixed_sign_cancellation(rng):
+    """A dipole-dominated system: net charge ~0 but potentials finite."""
+    n = 300
+    pts = rng.random((n, 3))
+    q = np.where(pts[:, 0] > 0.5, 1.0, -1.0)
+    ref = direct_potential(pts, q)
+    res = Treecode(pts, q, degree_policy=FixedDegree(7), alpha=0.4).evaluate()
+    assert np.linalg.norm(res.potential - ref) / np.linalg.norm(ref) < 1e-4
+
+
+def test_highly_anisotropic_cloud(rng):
+    """A thin filament (BEM-like geometry) — deep adaptive tree."""
+    n = 500
+    pts = np.stack(
+        [rng.random(n), rng.random(n) * 1e-3, rng.random(n) * 1e-3], axis=1
+    )
+    q = rng.uniform(0.5, 1.5, n)
+    ref = direct_potential(pts, q)
+    tc = Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.4), alpha=0.4)
+    res = tc.evaluate()
+    assert np.linalg.norm(res.potential - ref) / np.linalg.norm(ref) < 1e-3
+
+
+def test_huge_charge_outlier(rng):
+    """One charge 10^6 times the others must not break the bound or the
+    degree schedule."""
+    n = 300
+    pts = rng.random((n, 3))
+    q = np.ones(n)
+    q[0] = 1e6
+    ref = direct_potential(pts, q)
+    tc = Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.4), alpha=0.4)
+    res = tc.evaluate(accumulate_bounds=True)
+    assert np.all(np.abs(res.potential - ref) <= res.error_bound + 1e-9 * np.abs(ref))
+    assert np.linalg.norm(res.potential - ref) / np.linalg.norm(ref) < 1e-3
+
+
+def test_distant_target_is_monopole(rng):
+    """A target 1000 box-lengths away sees essentially the net charge."""
+    pts = rng.random((200, 3))
+    q = rng.uniform(0.5, 1.5, 200)
+    tgt = np.array([[1000.0, 0.0, 0.0]])
+    tc = Treecode(pts, q, degree_policy=FixedDegree(3), alpha=0.5)
+    res = tc.evaluate(targets=tgt)
+    r = np.linalg.norm(tgt[0] - pts.mean(axis=0))
+    assert res.potential[0] == pytest.approx(q.sum() / r, rel=1e-3)
+    # and the whole tree collapses into very few interactions
+    assert res.stats.n_pc_interactions <= 8
+
+
+def test_target_exactly_on_particle(rng):
+    """An external target coinciding with a source: the coincident pair
+    contributes nothing, everything else is summed."""
+    pts = rng.random((100, 3))
+    q = rng.uniform(0.5, 1.5, 100)
+    tgt = pts[:1].copy()
+    res = Treecode(pts, q, degree_policy=FixedDegree(6), alpha=0.4).evaluate(targets=tgt)
+    expected = direct_potential(pts, q)[0]
+    assert res.potential[0] == pytest.approx(expected, rel=1e-4)
+
+
+def test_leaf_size_one(rng):
+    pts = rng.random((150, 3))
+    q = rng.uniform(-1, 1, 150)
+    ref = direct_potential(pts, q)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(6), alpha=0.4, leaf_size=1)
+    res = tc.evaluate()
+    assert np.linalg.norm(res.potential - ref) / np.linalg.norm(ref) < 1e-3
+    leaves = tc.tree.leaf_ids()
+    assert (tc.tree.end[leaves] - tc.tree.start[leaves]).max() == 1
+
+
+def test_alpha_extremes(rng):
+    pts = rng.random((200, 3))
+    q = rng.uniform(0.5, 1.5, 200)
+    ref = direct_potential(pts, q)
+    # near-direct regime: alpha so small almost nothing is accepted
+    tc = Treecode(pts, q, degree_policy=FixedDegree(2), alpha=0.05)
+    res = tc.evaluate()
+    assert np.linalg.norm(res.potential - ref) / np.linalg.norm(ref) < 1e-6
+    assert res.stats.n_pp_pairs > 0.5 * 200 * 199
+    # loose regime still respects its bound
+    tc2 = Treecode(pts, q, degree_policy=FixedDegree(2), alpha=0.95)
+    res2 = tc2.evaluate(accumulate_bounds=True)
+    assert np.all(np.abs(res2.potential - ref) <= res2.error_bound + 1e-12)
+
+
+def test_empty_far_field_lists(rng):
+    """With alpha tiny and a shallow tree, the far list can be empty —
+    the engine must handle zero accepted interactions."""
+    pts = rng.random((30, 3))
+    q = np.ones(30)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(3), alpha=0.01, leaf_size=32)
+    res = tc.evaluate()
+    assert res.stats.n_pc_interactions == 0
+    ref = direct_potential(pts, q)
+    assert np.allclose(res.potential, ref, rtol=1e-12)

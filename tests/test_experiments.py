@@ -1,0 +1,113 @@
+"""Tests for the experiment harness (small instances)."""
+
+import numpy as np
+import pytest
+
+from repro.bem.geometries import icosphere
+from repro.experiments import (
+    run_alpha_sweep,
+    run_case,
+    run_cost_ratio,
+    run_fig2,
+    run_fmm_extension,
+    run_leaf_sweep,
+    run_ordering_study,
+    run_table2,
+    run_table3_geometry,
+)
+
+
+def test_run_case_fields():
+    row = run_case("uniform", 600, p0=3, alpha=0.5)
+    assert row.n == 600
+    assert row.err_orig > 0 and row.err_new > 0
+    assert row.bound_orig > row.bound_new
+    assert row.terms_orig > 0 and row.terms_new >= row.terms_orig
+    assert row.degrees_new[0] == 3
+    assert len(row.as_list()) == len(row.HEADERS)
+
+
+def test_run_case_deterministic():
+    a = run_case("gaussian", 400, seed=9)
+    b = run_case("gaussian", 400, seed=9)
+    assert a.err_orig == b.err_orig
+    assert a.terms_new == b.terms_new
+
+
+def test_run_fig2_series_aligned():
+    data = run_fig2([300, 600], p0=3, alpha=0.5)
+    series = data.series()
+    assert set(series) == {
+        "error(original)",
+        "error(new)",
+        "bound(original)",
+        "bound(new)",
+        "terms(original)",
+        "terms(new)",
+    }
+    for xs, ys in series.values():
+        assert xs == [300, 600]
+        assert len(ys) == 2
+
+
+def test_run_table2_small():
+    rows = run_table2(
+        [("tiny", "uniform", 800)], n_procs=8, w=32, p0=3, alpha=0.5, n_threads=2
+    )
+    assert len(rows) == 2  # original + new
+    for r in rows:
+        assert r.parallel_matches_serial
+        assert 1.0 < r.sim_speedup_lpt <= 8.0
+        assert r.serial_time > 0
+    assert rows[1].fetch_terms > rows[0].fetch_terms
+
+
+def test_run_table3_geometry_sphere():
+    mesh = icosphere(2)
+    rows = run_table3_geometry("sphere", mesh, p0=3, degrees=[3, 4], n_gauss=3)
+    assert len(rows) == 3  # two original degrees + improved
+    orig = [r for r in rows if r.algorithm == "original"]
+    assert orig[1].error < orig[0].error
+    improved = next(r for r in rows if r.algorithm == "improved")
+    assert improved.error < orig[0].error
+    assert improved.degree == "3*"
+
+
+def test_run_cost_ratio_shape():
+    headers, rows = run_cost_ratio([500, 1500], p0=3, alpha=0.5)
+    assert len(headers) == 6
+    for row in rows:
+        n, height, t_o, t_n, measured, predicted = row
+        assert t_n >= t_o
+        assert measured == pytest.approx(t_n / t_o)
+        assert predicted >= 1.0
+
+
+def test_run_alpha_sweep_shape():
+    headers, rows = run_alpha_sweep(alphas=[0.4, 0.6], n=800, p0=3)
+    assert len(rows) == 2
+    # looser MAC -> fewer terms, more error (for the fixed method)
+    assert rows[1][2] < rows[0][2]
+    assert rows[1][1] > rows[0][1]
+
+
+def test_run_leaf_sweep_shape():
+    headers, rows = run_leaf_sweep(leaf_sizes=[4, 32], n=800, p0=3, alpha=0.5)
+    assert rows[1][3] > rows[0][3]  # near pairs grow with leaf size
+
+
+def test_run_ordering_study_shape():
+    headers, rows = run_ordering_study(n=1000, w=32, n_procs=4, alpha=0.5)
+    names = [r[0] for r in rows]
+    assert names == ["hilbert", "morton", "input", "random"]
+    by = {r[0]: r for r in rows}
+    assert by["hilbert"][1] < by["random"][1]  # block fetch volume
+    assert by["hilbert"][2] <= by["random"][2]  # per-proc data volume
+
+
+def test_run_fmm_extension_shape():
+    # level >= 3 so there are coarse levels whose degree the schedule raises
+    headers, rows = run_fmm_extension(n=1000, level=3, p0=3)
+    assert [r[0] for r in rows] == ["fixed", "adaptive(c=1)", "adaptive(c=2)"]
+    errs = [r[2] for r in rows]
+    assert errs[2] < errs[0]

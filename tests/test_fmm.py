@@ -1,0 +1,112 @@
+"""Tests for the FMM extension."""
+
+import numpy as np
+import pytest
+
+from repro.direct import direct_potential
+from repro.fmm import UniformFMM, level_degrees
+
+
+def rel_err(a, b):
+    return np.linalg.norm(a - b) / np.linalg.norm(b)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(42)
+    pts = rng.random((1500, 3))
+    q = rng.uniform(-1, 1, 1500)
+    return pts, q, direct_potential(pts, q)
+
+
+def test_accuracy(cloud):
+    pts, q, ref = cloud
+    fmm = UniformFMM(pts, q, level=3, degrees=8)
+    assert rel_err(fmm.evaluate(), ref) < 5e-5
+
+
+def test_error_decreases_with_degree(cloud):
+    pts, q, ref = cloud
+    errs = [
+        rel_err(UniformFMM(pts, q, level=3, degrees=p).evaluate(), ref)
+        for p in (2, 5, 9)
+    ]
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_level_invariance(cloud):
+    """Different leaf levels must agree to within truncation error."""
+    pts, q, ref = cloud
+    e2 = rel_err(UniformFMM(pts, q, level=2, degrees=7).evaluate(), ref)
+    e3 = rel_err(UniformFMM(pts, q, level=3, degrees=7).evaluate(), ref)
+    assert e2 < 1e-3 and e3 < 1e-3
+
+
+def test_adaptive_level_degrees_improve_error(cloud):
+    """Theorem-3 schedule in the FMM: raising coarse-level degrees beats
+    the fixed-degree FMM of the same leaf degree."""
+    pts, q, ref = cloud
+    L = 3
+    fixed = UniformFMM(pts, q, level=L, degrees=4)
+    sched = level_degrees(4, L + 1, c=1.5)
+    adaptive = UniformFMM(pts, q, level=L, degrees=sched)
+    e_fixed = rel_err(fixed.evaluate(), ref)
+    e_adaptive = rel_err(adaptive.evaluate(), ref)
+    assert e_adaptive < e_fixed
+
+
+def test_level_degrees_schedule():
+    assert level_degrees(4, 5, c=0.0) == [4, 4, 4, 4, 4]
+    assert level_degrees(4, 5, c=1.0) == [8, 7, 6, 5, 4]
+    assert level_degrees(4, 5, c=2.0, p_max=9) == [9, 9, 8, 6, 4]
+    with pytest.raises(ValueError):
+        level_degrees(-1, 4)
+
+
+def test_stats_populated(cloud):
+    pts, q, _ = cloud
+    fmm = UniformFMM(pts, q, level=3, degrees=5)
+    fmm.evaluate()
+    assert fmm.stats.n_m2l > 0
+    assert fmm.stats.n_pp_pairs > 0
+    assert fmm.stats.n_terms_m2l == fmm.stats.n_m2l * 36
+    assert set(fmm.stats.times) == {"upward", "m2l", "l2l", "near"}
+
+
+def test_auto_level_selection():
+    rng = np.random.default_rng(0)
+    pts = rng.random((5000, 3))
+    fmm = UniformFMM(pts, np.ones(5000))
+    assert fmm.L >= 2
+
+
+def test_original_order_restored():
+    rng = np.random.default_rng(1)
+    pts = rng.random((600, 3))
+    q = rng.uniform(0.5, 1, 600)
+    ref = direct_potential(pts, q)
+    phi = UniformFMM(pts, q, level=2, degrees=10).evaluate()
+    # strong per-particle agreement only if ordering correct
+    assert np.allclose(phi, ref, rtol=1e-5)
+
+
+def test_validation():
+    pts = np.random.default_rng(0).random((50, 3))
+    with pytest.raises(ValueError):
+        UniformFMM(pts, np.ones(50), level=1)
+    with pytest.raises(ValueError):
+        UniformFMM(pts, np.ones(49))
+    with pytest.raises(ValueError):
+        UniformFMM(pts, np.ones(50), level=3, degrees=[4, 4])
+    with pytest.raises(ValueError):
+        UniformFMM(np.zeros((0, 3)), np.zeros(0))
+
+
+def test_clustered_distribution(cloud):
+    """Empty cells must be handled (Gaussian leaves most cells empty)."""
+    rng = np.random.default_rng(3)
+    pts = rng.normal(0.5, 0.05, (800, 3))
+    q = rng.uniform(-1, 1, 800)
+    ref = direct_potential(pts, q)
+    phi = UniformFMM(pts, q, level=3, degrees=8).evaluate()
+    assert rel_err(phi, ref) < 1e-3

@@ -1,0 +1,57 @@
+"""Tests for the charge-driven FMM degree schedule."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import uniform_cube, unit_charges
+from repro.direct import direct_potential
+from repro.fmm import UniformFMM
+
+
+def test_adaptive_degrees_from_charges():
+    pts = uniform_cube(2000, seed=0)
+    q = unit_charges(2000)
+    fmm = UniformFMM(pts, q, level=3, degrees=4)
+    degs = fmm.adaptive_degrees(p0=4, alpha=0.5)
+    assert len(degs) == 4
+    assert degs[-1] == 4  # leaf anchor
+    # coarser levels aggregate ~8x charge per level: degrees increase
+    assert all(a >= b for a, b in zip(degs, degs[1:]))
+    assert degs[0] > degs[-1]
+
+
+def test_adaptive_degrees_scale_invariant():
+    """Rescaling all charges must not change the schedule (ratios only)."""
+    pts = uniform_cube(1500, seed=1)
+    q = unit_charges(1500)
+    f1 = UniformFMM(pts, q, level=3, degrees=4)
+    f2 = UniformFMM(pts, 100.0 * q, level=3, degrees=4)
+    assert f1.adaptive_degrees(4, 0.5) == f2.adaptive_degrees(4, 0.5)
+
+
+def test_adaptive_degrees_improve_error():
+    pts = uniform_cube(1500, seed=2)
+    q = unit_charges(1500, seed=3, signed=True)
+    ref = direct_potential(pts, q)
+    base = UniformFMM(pts, q, level=3, degrees=4)
+    e_fixed = np.linalg.norm(base.evaluate() - ref) / np.linalg.norm(ref)
+    degs = base.adaptive_degrees(p0=4, alpha=0.5)
+    tuned = UniformFMM(pts, q, level=3, degrees=degs)
+    e_adaptive = np.linalg.norm(tuned.evaluate() - ref) / np.linalg.norm(ref)
+    assert e_adaptive < e_fixed
+
+
+def test_adaptive_degrees_p_max_cap():
+    pts = uniform_cube(1000, seed=4)
+    fmm = UniformFMM(pts, np.ones(1000), level=3, degrees=4)
+    degs = fmm.adaptive_degrees(p0=4, alpha=0.7, p_max=6)
+    assert max(degs) <= 6
+
+
+def test_adaptive_degrees_validation():
+    pts = uniform_cube(500, seed=5)
+    fmm = UniformFMM(pts, np.ones(500), level=2, degrees=4)
+    with pytest.raises(ValueError):
+        fmm.adaptive_degrees(-1)
+    with pytest.raises(ValueError):
+        fmm.adaptive_degrees(4, alpha=1.5)

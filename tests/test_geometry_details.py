@@ -1,0 +1,86 @@
+"""Additional geometry and mesh-quality tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bem.geometries import box, cylinder, gripper, icosphere, propeller
+from repro.bem.mesh import TriangleMesh, weld_vertices
+
+
+def test_box_closed_surface():
+    m = box(resolution=3)
+    edge_count = {}
+    for tri in m.triangles:
+        for a, b in ((0, 1), (1, 2), (2, 0)):
+            e = tuple(sorted((int(tri[a]), int(tri[b]))))
+            edge_count[e] = edge_count.get(e, 0) + 1
+    assert all(c == 2 for c in edge_count.values())
+
+
+def test_box_euler_characteristic():
+    m = box(resolution=4)
+    edges = set()
+    for tri in m.triangles:
+        for a, b in ((0, 1), (1, 2), (2, 0)):
+            edges.add(tuple(sorted((int(tri[a]), int(tri[b])))))
+    assert m.n_vertices - len(edges) + m.n_triangles == 2
+
+
+def test_cylinder_axes():
+    for axis, dim in (("x", 0), ("y", 1), ("z", 2)):
+        m = cylinder(radius=0.5, height=3.0, axis=axis, n_around=12, n_along=4)
+        ext = m.vertices.max(axis=0) - m.vertices.min(axis=0)
+        assert ext[dim] == pytest.approx(3.0, rel=1e-9)
+        other = [d for d in range(3) if d != dim]
+        assert ext[other[0]] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_propeller_symmetry():
+    """k-fold rotational symmetry about z: rotating the vertex cloud by
+    2π/k maps it onto itself (as a set)."""
+    m = propeller(n_blades=3, blade_res=6, hub_res=9)
+    ang = 2 * np.pi / 3
+    c, s = np.cos(ang), np.sin(ang)
+    R = np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]])
+    rotated = m.vertices @ R.T
+    # match rotated vertices against originals with a tolerance
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(m.vertices)
+    d, _ = tree.query(rotated)
+    assert d.max() < 1e-6
+
+
+def test_gripper_finger_count_scales():
+    m2 = gripper(n_fingers=2, resolution=3)
+    m5 = gripper(n_fingers=5, resolution=3)
+    assert m5.n_triangles > m2.n_triangles
+    assert m5.vertices[:, 0].max() > m2.vertices[:, 0].max()
+
+
+def test_icosphere_normals_outward():
+    m = icosphere(2)
+    outward = np.einsum("ij,ij->i", m.normals(), m.centroids())
+    assert np.all(outward > 0)
+
+
+def test_weld_idempotent():
+    m = propeller(blade_res=5, hub_res=6)
+    again = weld_vertices(m)
+    assert again.n_vertices == m.n_vertices
+    assert again.n_triangles == m.n_triangles
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+@settings(max_examples=10, deadline=None)
+def test_box_area_property(rx, ry):
+    m = box(size=(float(rx), float(ry), 1.0), resolution=2)
+    expected = 2 * (rx * ry + rx + ry)
+    assert m.total_area() == pytest.approx(expected, rel=1e-9)
+
+
+def test_triangle_mesh_empty_rejected():
+    with pytest.raises(Exception):
+        TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]))

@@ -1,0 +1,108 @@
+"""Tests for the from-scratch GMRES solver."""
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import gmres as scipy_gmres
+
+from repro.bem.gmres import gmres
+
+
+def test_identity_converges_immediately(rng):
+    b = rng.random(20)
+    res = gmres(lambda v: v, b, tol=1e-12)
+    assert res.converged
+    assert np.allclose(res.x, b)
+    assert res.n_iterations <= 1
+
+
+def test_diagonal_system(rng):
+    d = rng.uniform(1, 10, 50)
+    b = rng.random(50)
+    res = gmres(lambda v: d * v, b, restart=10, tol=1e-12)
+    assert res.converged
+    assert np.allclose(res.x, b / d, rtol=1e-9)
+
+
+def test_dense_spd_system(rng):
+    A = rng.random((80, 80))
+    A = A @ A.T + 80 * np.eye(80)
+    b = rng.random(80)
+    res = gmres(lambda v: A @ v, b, restart=10, tol=1e-10, maxiter=500)
+    assert res.converged
+    assert np.allclose(res.x, np.linalg.solve(A, b), rtol=1e-6)
+
+
+def test_nonsymmetric_system(rng):
+    A = rng.random((60, 60)) + 30 * np.eye(60)
+    b = rng.random(60)
+    res = gmres(lambda v: A @ v, b, restart=15, tol=1e-10)
+    assert res.converged
+    assert np.linalg.norm(A @ res.x - b) / np.linalg.norm(b) < 1e-9
+
+
+def test_matches_scipy(rng):
+    A = rng.random((40, 40)) + 20 * np.eye(40)
+    b = rng.random(40)
+    ours = gmres(lambda v: A @ v, b, restart=10, tol=1e-10)
+    theirs, info = scipy_gmres(A, b, restart=10, rtol=1e-10)
+    assert info == 0
+    assert np.allclose(ours.x, theirs, rtol=1e-6, atol=1e-8)
+
+
+def test_restart_cycles_counted(rng):
+    """A hard system with tiny restart should need multiple cycles."""
+    A = rng.random((50, 50)) + 5 * np.eye(50)
+    b = rng.random(50)
+    res = gmres(lambda v: A @ v, b, restart=3, tol=1e-10, maxiter=1000)
+    assert res.converged
+    assert res.n_restarts > 1
+
+
+def test_residual_history_decreases_overall(rng):
+    A = rng.random((40, 40)) + 20 * np.eye(40)
+    b = rng.random(40)
+    res = gmres(lambda v: A @ v, b, restart=10, tol=1e-12)
+    assert res.history[0] >= res.history[-1]
+    assert res.history[-1] <= 1e-12
+    # inside one Krylov cycle the residual is non-increasing
+    assert all(b <= a * (1 + 1e-12) for a, b in zip(res.history[:10], res.history[1:11]))
+
+
+def test_callback_invoked(rng):
+    A = rng.random((20, 20)) + 10 * np.eye(20)
+    b = rng.random(20)
+    calls = []
+    res = gmres(lambda v: A @ v, b, callback=calls.append, tol=1e-10)
+    assert len(calls) == res.n_iterations
+    assert all(isinstance(c, float) for c in calls)
+
+
+def test_zero_rhs():
+    res = gmres(lambda v: 2 * v, np.zeros(10))
+    assert res.converged
+    assert np.all(res.x == 0)
+
+
+def test_maxiter_cap(rng):
+    """An ill-conditioned system with a tiny budget reports non-convergence."""
+    n = 60
+    A = np.diag(np.linspace(1e-6, 1, n))
+    b = np.ones(n)
+    res = gmres(lambda v: A @ v, b, restart=5, tol=1e-14, maxiter=10)
+    assert not res.converged
+    assert res.n_iterations == 10
+    assert np.isfinite(res.residual_norm)
+
+
+def test_initial_guess(rng):
+    A = rng.random((30, 30)) + 15 * np.eye(30)
+    b = rng.random(30)
+    x_exact = np.linalg.solve(A, b)
+    res = gmres(lambda v: A @ v, b, x0=x_exact, tol=1e-10)
+    assert res.converged
+    assert res.n_iterations == 0
+
+
+def test_bad_restart():
+    with pytest.raises(ValueError):
+        gmres(lambda v: v, np.ones(5), restart=0)

@@ -1,0 +1,107 @@
+"""Tests for analytic multipole/local gradients."""
+
+import numpy as np
+import pytest
+
+from repro.multipole.expansion import l2p, m2p, p2l, p2m
+from repro.multipole.gradient import l2p_grad, m2p_grad, m2p_grad_rows
+
+
+def fd_grad(f, pts, h=1e-6):
+    g = np.zeros_like(pts)
+    for i in range(3):
+        e = np.zeros(3)
+        e[i] = h
+        g[:, i] = (f(pts + e) - f(pts - e)) / (2 * h)
+    return g
+
+
+def test_m2p_grad_matches_finite_difference(rng):
+    p = 8
+    src = rng.normal(size=(30, 3)) * 0.3
+    q = rng.uniform(-1, 1, 30)
+    M = p2m(src, q, p)
+    tgt = rng.normal(size=(12, 3))
+    tgt = tgt / np.linalg.norm(tgt, axis=1, keepdims=True) * 2.5
+    g = m2p_grad(M, tgt, p)
+    gfd = fd_grad(lambda x: m2p(M, x, p), tgt)
+    assert np.allclose(g, gfd, rtol=1e-6, atol=1e-9)
+
+
+def test_m2p_grad_matches_exact_force(rng):
+    """At high degree the multipole gradient converges to the true force."""
+    p = 14
+    src = rng.normal(size=(20, 3)) * 0.2
+    q = rng.uniform(-1, 1, 20)
+    M = p2m(src, q, p)
+    tgt = rng.normal(size=(8, 3))
+    tgt = tgt / np.linalg.norm(tgt, axis=1, keepdims=True) * 3.0
+
+    def exact(t):
+        d = t - src
+        r = np.linalg.norm(d, axis=1)
+        return -(q / r**3) @ d
+
+    g = m2p_grad(M, tgt, p)
+    ref = np.array([exact(t) for t in tgt])
+    assert np.allclose(g, ref, rtol=1e-7, atol=1e-10)
+
+
+def test_l2p_grad_matches_finite_difference(rng):
+    p = 8
+    far = rng.normal(size=(20, 3))
+    far = far / np.linalg.norm(far, axis=1, keepdims=True) * 5.0
+    q = rng.uniform(-1, 1, 20)
+    L = p2l(far, q, p)
+    tgt = rng.normal(size=(10, 3)) * 0.3
+    g = l2p_grad(L, tgt, p)
+    gfd = fd_grad(lambda x: l2p(L, x, p), tgt)
+    assert np.allclose(g, gfd, rtol=1e-6, atol=1e-9)
+
+
+def test_grad_rows_matches_shared(rng):
+    p = 6
+    src = rng.normal(size=(15, 3)) * 0.2
+    q = rng.uniform(0, 1, 15)
+    M = p2m(src, q, p)
+    tgt = rng.normal(size=(7, 3)) + 2.5
+    rows = np.tile(M, (7, 1))
+    assert np.allclose(m2p_grad_rows(rows, tgt, p), m2p_grad(M, tgt, p), rtol=1e-12)
+
+
+def test_grad_near_polar_axis(rng):
+    """Targets very close to the z-axis must not blow up."""
+    p = 8
+    src = rng.normal(size=(20, 3)) * 0.2
+    q = rng.uniform(-1, 1, 20)
+    M = p2m(src, q, p)
+    # note: within ~sqrt(eps)*r of the axis the transverse component is
+    # unrecoverable from cos(theta) alone (1 - ct^2 cancels); 1e-6 is
+    # "near the pole" while staying in the representable regime
+    tgt = np.array([[1e-6, 0.0, 2.0], [0.0, -1e-6, -2.0], [1e-6, 1e-6, 2.5]])
+    g = m2p_grad(M, tgt, p)
+    assert np.all(np.isfinite(g))
+    # exactly on the axis: finite output required (accuracy is not)
+    on_axis = m2p_grad(M, np.array([[0.0, 0.0, 2.0]]), p)
+    assert np.all(np.isfinite(on_axis))
+
+    def exact(t):
+        d = t - src
+        r = np.linalg.norm(d, axis=1)
+        return -(q / r**3) @ d
+
+    ref = np.array([exact(t) for t in tgt])
+    # relative tolerance loose: truncation at p=8 plus pole guard
+    assert np.allclose(g, ref, rtol=1e-3, atol=1e-6)
+
+
+def test_monopole_gradient(rng):
+    """A degree-0 expansion gives the Coulomb field of the total charge."""
+    src = rng.normal(size=(10, 3)) * 1e-6
+    q = rng.uniform(0.5, 1.5, 10)
+    M = p2m(src, q, 0)
+    tgt = np.array([[2.0, 1.0, -1.0]])
+    g = m2p_grad(M, tgt, 0)
+    r = np.linalg.norm(tgt[0])
+    expected = -q.sum() * tgt[0] / r**3
+    assert np.allclose(g[0], expected, rtol=1e-5)

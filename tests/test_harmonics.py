@@ -1,0 +1,116 @@
+"""Tests for spherical harmonics, packing, and power tables."""
+
+import numpy as np
+import pytest
+from scipy.special import sph_harm_y
+
+from repro.multipole.harmonics import (
+    cart_to_sph,
+    coef_index,
+    degree_of_index,
+    ncoef,
+    norm_table,
+    power_table,
+    sph_harmonics,
+    term_count,
+)
+
+
+def test_ncoef_and_index():
+    assert ncoef(0) == 1
+    assert ncoef(1) == 3
+    assert ncoef(4) == 15
+    idx = 0
+    for n in range(6):
+        for m in range(n + 1):
+            assert coef_index(n, m) == idx
+            idx += 1
+    with pytest.raises(ValueError):
+        coef_index(2, 3)
+    with pytest.raises(ValueError):
+        ncoef(-1)
+
+
+def test_term_count():
+    assert term_count(0) == 1
+    assert term_count(4) == 25
+    with pytest.raises(ValueError):
+        term_count(-2)
+
+
+def test_degree_of_index_consistency():
+    ns, ms = degree_of_index(7)
+    assert len(ns) == ncoef(7)
+    for i, (n, m) in enumerate(zip(ns, ms)):
+        assert coef_index(int(n), int(m)) == i
+
+
+def test_against_scipy_sph_harm():
+    """Our Y_n^m = sqrt((n-m)!/(n+m)!) P_n^m e^{imφ} (no Condon-Shortley)
+    relates to scipy's orthonormal Y via
+    scipy = (-1)^m sqrt((2n+1)/(4π)) * ours."""
+    rng = np.random.default_rng(0)
+    theta = rng.uniform(0.1, np.pi - 0.1, 20)
+    phi = rng.uniform(-np.pi, np.pi, 20)
+    p = 8
+    Y = sph_harmonics(np.cos(theta), phi, p)
+    for n in range(p + 1):
+        for m in range(n + 1):
+            ours = Y[:, coef_index(n, m)]
+            ref = sph_harm_y(n, m, theta, phi)
+            factor = (-1.0) ** m * np.sqrt((2 * n + 1) / (4 * np.pi))
+            assert np.allclose(factor * ours, ref, rtol=1e-10, atol=1e-12), (n, m)
+
+
+def test_addition_theorem_legendre():
+    """sum_m Y_n^{-m}(u) Y_n^m(v) = P_n(cos γ) with our normalization."""
+    rng = np.random.default_rng(1)
+    u = rng.normal(size=3)
+    v = rng.normal(size=3)
+    cosg = u @ v / (np.linalg.norm(u) * np.linalg.norm(v))
+    _, ctu, phu = cart_to_sph(u[None, :])
+    _, ctv, phv = cart_to_sph(v[None, :])
+    p = 6
+    Yu = sph_harmonics(ctu, phu, p)[0]
+    Yv = sph_harmonics(ctv, phv, p)[0]
+    from scipy.special import eval_legendre
+
+    for n in range(p + 1):
+        s = Yu[coef_index(n, 0)].conj() * Yv[coef_index(n, 0)]
+        for m in range(1, n + 1):
+            s += 2 * np.real(np.conj(Yu[coef_index(n, m)]) * Yv[coef_index(n, m)])
+        assert np.real(s) == pytest.approx(eval_legendre(n, cosg), rel=1e-10, abs=1e-12)
+
+
+def test_cart_to_sph_roundtrip():
+    rng = np.random.default_rng(2)
+    xyz = rng.normal(size=(50, 3))
+    r, ct, phi = cart_to_sph(xyz)
+    st = np.sqrt(1 - ct**2)
+    back = np.stack([r * st * np.cos(phi), r * st * np.sin(phi), r * ct], axis=1)
+    assert np.allclose(back, xyz, rtol=1e-12, atol=1e-12)
+
+
+def test_cart_to_sph_origin():
+    r, ct, phi = cart_to_sph(np.zeros((1, 3)))
+    assert r[0] == 0.0
+    assert np.isfinite(ct[0]) and np.isfinite(phi[0])
+
+
+def test_norm_table_values():
+    from math import factorial
+
+    nt = norm_table(6)
+    for n in range(7):
+        for m in range(n + 1):
+            expected = np.sqrt(factorial(n - m) / factorial(n + m))
+            assert nt[coef_index(n, m)] == pytest.approx(expected, rel=1e-12)
+
+
+def test_power_table():
+    x = np.array([0.5, 2.0, -1.5])
+    pt = power_table(x, 6)
+    for k in range(7):
+        assert np.allclose(pt[:, k], x**k)
+    # degree 0 edge case
+    assert np.allclose(power_table(x, 0), np.ones((3, 1)))

@@ -1,0 +1,87 @@
+"""Tests for Peano-Hilbert keys."""
+
+import numpy as np
+import pytest
+
+from repro.tree.hilbert import (
+    axes_to_transpose,
+    grid_from_hilbert_key,
+    hilbert_key,
+    hilbert_key_from_grid,
+    hilbert_order,
+    transpose_to_axes,
+)
+
+
+def test_transpose_roundtrip():
+    rng = np.random.default_rng(0)
+    for bits in (1, 3, 8, 16):
+        g = rng.integers(0, 1 << bits, (500, 3), dtype=np.uint64)
+        tr = axes_to_transpose(g, bits)
+        back = transpose_to_axes(tr, bits)
+        assert np.array_equal(g, back), f"bits={bits}"
+
+
+def test_key_roundtrip():
+    rng = np.random.default_rng(1)
+    bits = 10
+    g = rng.integers(0, 1 << bits, (300, 3), dtype=np.uint64)
+    keys = hilbert_key_from_grid(g, bits)
+    back = grid_from_hilbert_key(keys, bits)
+    assert np.array_equal(g, back)
+
+
+def test_keys_are_a_bijection_small_grid():
+    """On a full 8x8x8 grid the keys must be a permutation of 0..511."""
+    bits = 3
+    coords = np.array(
+        [(x, y, z) for x in range(8) for y in range(8) for z in range(8)],
+        dtype=np.uint64,
+    )
+    keys = hilbert_key_from_grid(coords, bits)
+    assert sorted(keys.tolist()) == list(range(512))
+
+
+def test_consecutive_keys_are_adjacent_cells():
+    """The defining Hilbert property: consecutive curve positions are
+    grid neighbors (Manhattan distance exactly 1)."""
+    bits = 3
+    keys = np.arange(512, dtype=np.uint64)
+    grid = grid_from_hilbert_key(keys, bits).astype(np.int64)
+    steps = np.abs(np.diff(grid, axis=0)).sum(axis=1)
+    assert np.all(steps == 1)
+
+
+def test_hilbert_locality_beats_random():
+    """Average 3-D distance between order-neighbors should be far smaller
+    for Hilbert order than for random order."""
+    rng = np.random.default_rng(2)
+    pts = rng.random((2000, 3))
+    h = hilbert_order(pts)
+    d_h = np.linalg.norm(np.diff(pts[h], axis=0), axis=1).mean()
+    r = rng.permutation(2000)
+    d_r = np.linalg.norm(np.diff(pts[r], axis=0), axis=1).mean()
+    assert d_h < 0.25 * d_r
+
+
+def test_hilbert_order_is_permutation():
+    rng = np.random.default_rng(3)
+    pts = rng.random((777, 3))
+    order = hilbert_order(pts)
+    assert sorted(order.tolist()) == list(range(777))
+
+
+def test_hilbert_order_degenerate_planar_data():
+    """Planar/collinear data (zero extent in some dimension) must not crash."""
+    rng = np.random.default_rng(4)
+    pts = rng.random((100, 3))
+    pts[:, 2] = 0.25
+    order = hilbert_order(pts)
+    assert sorted(order.tolist()) == list(range(100))
+
+
+def test_bad_shapes_rejected():
+    with pytest.raises(ValueError):
+        axes_to_transpose(np.zeros((5, 2), dtype=np.uint64), 4)
+    with pytest.raises(ValueError):
+        hilbert_key_from_grid(np.zeros((5, 3), dtype=np.uint64), 0)

@@ -1,0 +1,98 @@
+"""Cross-module integration tests: full pipelines on every workload."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveChargeDegree, FixedDegree, Treecode, direct_potential
+from repro.analysis.metrics import relative_l2_error
+from repro.data.distributions import (
+    gaussian_blob,
+    overlapping_gaussians,
+    plummer,
+    sphere_shell,
+    uniform_cube,
+    unit_charges,
+)
+from repro.fmm import UniformFMM
+
+
+@pytest.mark.parametrize(
+    "gen",
+    [uniform_cube, gaussian_blob, overlapping_gaussians, sphere_shell, plummer],
+    ids=["uniform", "gaussian", "overlap", "shell", "plummer"],
+)
+def test_treecode_on_all_distributions(gen):
+    n = 700
+    pts = gen(n, seed=5)
+    q = unit_charges(n, seed=6, signed=True)
+    ref = direct_potential(pts, q)
+    for policy in (FixedDegree(5), AdaptiveChargeDegree(p0=5, alpha=0.5)):
+        tc = Treecode(pts, q, degree_policy=policy, alpha=0.5)
+        err = relative_l2_error(tc.evaluate().potential, ref)
+        assert err < 5e-3, f"{gen.__name__}/{policy.name}: {err}"
+
+
+def test_adaptive_never_worse_than_fixed_same_p0():
+    """Across all workloads, the improved method's error is at most the
+    original method's (same p0, same alpha)."""
+    for gen in (uniform_cube, gaussian_blob, overlapping_gaussians):
+        pts = gen(900, seed=11)
+        q = unit_charges(900, seed=12, signed=True)
+        ref = direct_potential(pts, q)
+        e_fix = relative_l2_error(
+            Treecode(pts, q, degree_policy=FixedDegree(4), alpha=0.5).evaluate().potential,
+            ref,
+        )
+        e_ada = relative_l2_error(
+            Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5), alpha=0.5)
+            .evaluate()
+            .potential,
+            ref,
+        )
+        assert e_ada <= e_fix * 1.05, gen.__name__
+
+
+def test_treecode_and_fmm_agree():
+    pts = uniform_cube(1200, seed=3)
+    q = unit_charges(1200, seed=4, signed=True)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(8), alpha=0.4).evaluate().potential
+    fm = UniformFMM(pts, q, level=3, degrees=8).evaluate()
+    ref = direct_potential(pts, q)
+    assert relative_l2_error(tc, ref) < 2e-4
+    assert relative_l2_error(fm, ref) < 2e-4
+    assert relative_l2_error(tc, fm) < 4e-4
+
+
+def test_terms_grow_nlogn_like():
+    """Treecode terms per particle should grow ~log n, far below O(n)."""
+    counts = []
+    for n in (500, 2000, 8000):
+        pts = uniform_cube(n, seed=n)
+        q = unit_charges(n)
+        tc = Treecode(pts, q, degree_policy=FixedDegree(4), alpha=0.5)
+        s = tc.evaluate().stats
+        counts.append(s.n_terms / n)
+    # per-particle terms grow, but by far less than the 4x/16x of O(n)
+    assert counts[1] / counts[0] < 3.0
+    assert counts[2] / counts[1] < 3.0
+
+
+def test_paper_shape_bound_growth():
+    """The Table-1/Fig-2 shape: the aggregate error *bound* of the fixed-
+    degree method grows with n while the improved method's stays nearly
+    flat (both at the same p0)."""
+    ratios = []
+    for n in (1000, 4000):
+        pts = uniform_cube(n, seed=n)
+        q = unit_charges(n, seed=n + 1, signed=True)
+        b = {}
+        for name, policy in (
+            ("orig", FixedDegree(4)),
+            ("new", AdaptiveChargeDegree(p0=4, alpha=0.4)),
+        ):
+            tc = Treecode(pts, q, degree_policy=policy, alpha=0.4)
+            res = tc.evaluate(accumulate_bounds=True)
+            b[name] = np.linalg.norm(res.error_bound) / np.sqrt(n)
+        ratios.append(b["orig"] / b["new"])
+    # the gap widens with n
+    assert ratios[1] > ratios[0] > 1.0

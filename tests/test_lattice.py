@@ -1,0 +1,57 @@
+"""Tests for the lattice (structured grid) workload."""
+
+import numpy as np
+import pytest
+
+from repro import FixedDegree, Treecode, direct_potential
+from repro.core.degree import LevelDegree
+from repro.data.distributions import lattice
+
+
+def test_lattice_shape_and_bounds():
+    pts = lattice(1000)
+    assert pts.shape == (1000, 3)
+    assert pts.min() >= 0 and pts.max() <= 1.0
+
+
+def test_lattice_exact_cube_count():
+    pts = lattice(512)  # 8^3 exactly
+    assert pts.shape == (512, 3)
+    # all 8 per-axis coordinates present
+    assert len(np.unique(pts[:, 0])) == 8
+
+
+def test_lattice_jitter():
+    a = lattice(343, jitter=0.0)
+    b = lattice(343, jitter=0.3, seed=1)
+    assert not np.allclose(a, b)
+    # jitter stays within half a cell
+    assert np.abs(a - b).max() < 0.5 / 7
+
+
+def test_lattice_determinism():
+    assert np.array_equal(lattice(200, jitter=0.2, seed=5), lattice(200, jitter=0.2, seed=5))
+
+
+def test_lattice_validation():
+    with pytest.raises(ValueError):
+        lattice(0)
+    with pytest.raises(ValueError):
+        lattice(10, jitter=-1)
+
+
+def test_treecode_on_lattice():
+    """The structured case the paper's Theorem 4/5 analysis targets:
+    level-based and charge-based schedules coincide on a uniform grid."""
+    pts = lattice(1728, jitter=0.05, seed=0)  # 12^3
+    q = np.ones(1728)
+    ref = direct_potential(pts, q)
+    tc = Treecode(pts, q, degree_policy=LevelDegree(p0=4, alpha=0.4), alpha=0.4)
+    res = tc.evaluate()
+    err = np.linalg.norm(res.potential - ref) / np.linalg.norm(ref)
+    assert err < 1e-4
+    # a perfectly balanced octree
+    assert tc.tree.height >= 3
+    fixed = Treecode(pts, q, degree_policy=FixedDegree(4), alpha=0.4).evaluate()
+    err_fixed = np.linalg.norm(fixed.potential - ref) / np.linalg.norm(ref)
+    assert err <= err_fixed * 1.05

@@ -1,0 +1,109 @@
+"""Focused tests for the machine-model internals."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import MachineModel, SimulationResult, schedule_blocks, simulate
+from repro.parallel.partition import BlockProfile
+
+
+def toy_profile(nb=10, seed=0):
+    rng = np.random.default_rng(seed)
+    terms = rng.uniform(1e4, 1e5, nb)
+    pairs = rng.uniform(1e2, 1e3, nb)
+    # each block touches 3 clusters out of 20, with 25 terms each
+    pb, pn = [], []
+    for b in range(nb):
+        for node in rng.choice(20, 3, replace=False):
+            pb.append(b)
+            pn.append(node)
+    pb = np.asarray(pb)
+    pn = np.asarray(pn)
+    return BlockProfile(
+        blocks=[np.arange(4)] * nb,
+        compute_terms=terms,
+        compute_pairs=pairs,
+        fetch_terms=np.full(nb, 75.0),
+        pair_blocks=pb,
+        pair_nodes=pn,
+        pair_terms=np.full(pb.size, 25.0),
+    )
+
+
+def test_single_proc_is_identity():
+    sim = simulate(toy_profile(), MachineModel(n_procs=1))
+    assert sim.speedup == 1.0
+    assert sim.efficiency == 1.0
+    assert sim.load_imbalance == 1.0
+
+
+def test_serial_time_independent_of_procs():
+    prof = toy_profile()
+    times = {P: simulate(prof, MachineModel(n_procs=P)).serial_time for P in (1, 4, 16)}
+    assert len(set(times.values())) == 1
+
+
+def test_fetch_cost_lowers_speedup():
+    prof = toy_profile()
+    cheap = simulate(prof, MachineModel(n_procs=4, t_fetch_remote=0.0))
+    dear = simulate(prof, MachineModel(n_procs=4, t_fetch_remote=1000.0, cache_reuse=0.0))
+    assert dear.speedup < cheap.speedup
+
+
+def test_cache_reuse_recovers_speedup():
+    prof = toy_profile()
+    cold = simulate(prof, MachineModel(n_procs=4, t_fetch_remote=100.0, cache_reuse=0.0))
+    warm = simulate(prof, MachineModel(n_procs=4, t_fetch_remote=100.0, cache_reuse=0.99))
+    assert warm.speedup > cold.speedup
+
+
+def test_shared_clusters_fetched_once_per_proc():
+    """If all blocks touch the same clusters, the per-proc fetch volume
+    must not scale with the number of blocks."""
+    nb = 12
+    pb = np.repeat(np.arange(nb), 2)
+    pn = np.tile(np.array([0, 1]), nb)
+    prof = BlockProfile(
+        blocks=[np.arange(2)] * nb,
+        compute_terms=np.full(nb, 1000.0),
+        compute_pairs=np.zeros(nb),
+        fetch_terms=np.full(nb, 50.0),
+        pair_blocks=pb,
+        pair_nodes=pn,
+        pair_terms=np.full(pb.size, 25.0),
+    )
+    model = MachineModel(n_procs=2, t_fetch_remote=1.0, cache_reuse=0.0, t_block_overhead=0.0)
+    sim = simulate(prof, model, strategy="cyclic")
+    # per proc: compute 6*1000 + fetch of 2 clusters * 25 * (1/2 remote)
+    expected = 6000.0 + 2 * 25.0 * 0.5
+    assert sim.parallel_time == pytest.approx(expected)
+
+
+def test_schedule_cyclic_round_robin():
+    a = schedule_blocks(np.ones(7), 3, "cyclic")
+    assert list(a) == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_schedule_contiguous_ranges():
+    a = schedule_blocks(np.ones(9), 3, "contiguous")
+    assert list(a) == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+
+def test_schedule_lpt_optimal_here():
+    costs = np.array([7.0, 5.0, 4.0, 4.0, 2.0])
+    a = schedule_blocks(costs, 2, "lpt")
+    loads = np.bincount(a, weights=costs, minlength=2)
+    assert loads.max() == pytest.approx(11.0)  # optimal makespan
+
+
+def test_result_properties():
+    sim = SimulationResult(
+        n_procs=4,
+        serial_time=100.0,
+        parallel_time=40.0,
+        proc_times=np.array([40.0, 30.0, 20.0, 10.0]),
+        assignment=np.zeros(1, dtype=np.int64),
+    )
+    assert sim.speedup == pytest.approx(2.5)
+    assert sim.efficiency == pytest.approx(0.625)
+    assert sim.load_imbalance == pytest.approx(40.0 / 25.0)

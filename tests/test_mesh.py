@@ -1,0 +1,140 @@
+"""Tests for triangle meshes and synthetic geometries."""
+
+import numpy as np
+import pytest
+
+from repro.bem.geometries import (
+    box,
+    cylinder,
+    gripper,
+    icosphere,
+    parametric_patch,
+    propeller,
+)
+from repro.bem.mesh import TriangleMesh, merge_meshes, weld_vertices
+
+
+def test_mesh_validation():
+    v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+    t = np.array([[0, 1, 2]])
+    m = TriangleMesh(v, t)
+    m.validate()
+    assert m.n_vertices == 3 and m.n_triangles == 1
+    assert m.areas()[0] == pytest.approx(0.5)
+    assert np.allclose(m.normals()[0], [0, 0, 1])
+    assert np.allclose(m.centroids()[0], [1 / 3, 1 / 3, 0])
+    with pytest.raises(ValueError):
+        TriangleMesh(v, np.array([[0, 1, 5]]))
+    with pytest.raises(ValueError):
+        TriangleMesh(v[:, :2], t)
+
+
+def test_merge_and_weld():
+    v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+    t = np.array([[0, 1, 2]])
+    m1 = TriangleMesh(v, t)
+    m2 = TriangleMesh(v + np.array([1.0, 0, 0]), t)
+    merged = merge_meshes([m1, m2])
+    assert merged.n_vertices == 6 and merged.n_triangles == 2
+    welded = weld_vertices(merged)
+    # vertex (1,0,0) is shared
+    assert welded.n_vertices == 5
+    assert welded.n_triangles == 2
+    with pytest.raises(ValueError):
+        merge_meshes([])
+
+
+def test_weld_drops_degenerate():
+    v = np.array([[0, 0, 0], [1e-12, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+    t = np.array([[0, 1, 3], [0, 2, 3]])  # first becomes degenerate after welding
+    w = weld_vertices(TriangleMesh(v, t), tol=1e-9)
+    assert w.n_triangles == 1
+
+
+def test_icosphere_properties():
+    for sub in (0, 1, 2):
+        m = icosphere(sub, radius=2.0)
+        m.validate()
+        assert m.n_triangles == 20 * 4**sub
+        r = np.linalg.norm(m.vertices, axis=1)
+        assert np.allclose(r, 2.0, rtol=1e-12)
+    # surface area converges to 4 pi r^2
+    m = icosphere(3, radius=1.0)
+    assert m.total_area() == pytest.approx(4 * np.pi, rel=0.01)
+
+
+def test_icosphere_closed_surface():
+    """Closed orientable surface: V - E + F = 2 and every edge shared by
+    exactly two triangles."""
+    m = icosphere(2)
+    edges = set()
+    edge_count = {}
+    for tri in m.triangles:
+        for a, b in ((0, 1), (1, 2), (2, 0)):
+            e = tuple(sorted((tri[a], tri[b])))
+            edges.add(e)
+            edge_count[e] = edge_count.get(e, 0) + 1
+    assert all(c == 2 for c in edge_count.values())
+    assert m.n_vertices - len(edges) + m.n_triangles == 2
+
+
+def test_parametric_patch_plane():
+    m = parametric_patch(
+        lambda u, v: np.stack([u, v, np.zeros_like(u)], axis=-1), 4, 5
+    )
+    m.validate()
+    assert m.n_triangles == 2 * 4 * 5
+    assert m.total_area() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        parametric_patch(lambda u, v: np.stack([u, v, u], axis=-1), 0, 3)
+
+
+def test_box_area():
+    m = box(size=(1.0, 2.0, 3.0), resolution=3)
+    m.validate()
+    assert m.total_area() == pytest.approx(2 * (1 * 2 + 2 * 3 + 1 * 3))
+
+
+def test_cylinder_area():
+    m = cylinder(radius=1.0, height=2.0, n_around=64, n_along=8)
+    m.validate()
+    expected = 2 * np.pi * 1.0 * 2.0 + 2 * np.pi * 1.0**2
+    assert m.total_area() == pytest.approx(expected, rel=0.01)
+    with pytest.raises(ValueError):
+        cylinder(axis="w")
+
+
+def test_propeller_scales_with_resolution():
+    small = propeller(blade_res=6, hub_res=8)
+    large = propeller(blade_res=12, hub_res=16)
+    small.validate()
+    large.validate()
+    assert large.n_triangles > 2 * small.n_triangles
+    # blades make it much wider than tall
+    ext = small.vertices.max(axis=0) - small.vertices.min(axis=0)
+    assert ext[0] > 2 * ext[2] and ext[1] > 2 * ext[2]
+
+
+def test_propeller_blade_count():
+    m2 = propeller(n_blades=2, blade_res=6)
+    m4 = propeller(n_blades=4, blade_res=6)
+    assert m4.n_triangles > m2.n_triangles
+    with pytest.raises(ValueError):
+        propeller(n_blades=0)
+
+
+def test_gripper_structure():
+    m = gripper(n_fingers=3, resolution=4)
+    m.validate()
+    # fingers extend in +z beyond the palm
+    assert m.vertices[:, 2].max() > 0.5
+    with pytest.raises(ValueError):
+        gripper(n_fingers=0)
+
+
+def test_surface_distribution_is_hollow():
+    """The BEM point clouds must be surface-concentrated (paper: 'a bulk
+    of the volume is empty')."""
+    m = icosphere(3)
+    r = np.linalg.norm(m.vertices, axis=1)
+    assert r.min() > 0.99  # no interior vertices

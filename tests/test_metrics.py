@@ -1,0 +1,74 @@
+"""Tests for error metrics and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    absolute_l2_error,
+    error_report,
+    max_relative_error,
+    relative_l2_error,
+)
+from repro.analysis.tables import fmt_count, format_series, format_table
+
+
+def test_relative_l2():
+    a = np.array([1.0, 2.0, 2.0])
+    b = np.array([1.0, 2.0, 3.0])
+    assert relative_l2_error(b, b) == 0.0
+    assert relative_l2_error(a, b) == pytest.approx(1.0 / np.sqrt(14))
+
+
+def test_relative_l2_zero_reference():
+    assert relative_l2_error(np.array([3.0, 4.0]), np.zeros(2)) == pytest.approx(5.0)
+
+
+def test_max_relative():
+    a = np.array([1.0, 2.0])
+    b = np.array([1.5, 2.0])
+    assert max_relative_error(a, b) == pytest.approx(0.25)
+
+
+def test_absolute_l2():
+    assert absolute_l2_error(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == 5.0
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        relative_l2_error(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        max_relative_error(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        absolute_l2_error(np.zeros((2, 2)), np.zeros(4))
+
+
+def test_error_report_keys(rng):
+    a = rng.random(10)
+    b = a + 1e-6
+    rep = error_report(b, a)
+    assert set(rep) == {"rel_l2", "max_rel", "abs_l2"}
+    assert all(v >= 0 for v in rep.values())
+
+
+def test_fmt_count():
+    assert fmt_count(12) == "12"
+    assert fmt_count(4500) == "4.5K"
+    assert fmt_count(12_300_000) == "12.3M"
+    assert fmt_count(2.5e9) == "2.50B"
+
+
+def test_format_table_alignment():
+    out = format_table(["n", "err"], [[1000, 1.234e-5], [20000, 5.6e-7]], title="T1")
+    lines = out.splitlines()
+    assert lines[0] == "T1"
+    assert "n" in lines[2] and "err" in lines[2]
+    assert len(lines) == 6
+    # all rows same width
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_format_series():
+    out = format_series("err", [1, 2], [0.1, 0.01], xlabel="n", ylabel="e")
+    assert "err" in out and "0.1" in out
+    assert len(out.splitlines()) == 3

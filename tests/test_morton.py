@@ -1,0 +1,105 @@
+"""Tests for Morton (Z-order) keys."""
+
+import numpy as np
+import pytest
+
+from repro.tree.morton import (
+    MAX_DEPTH,
+    deinterleave3,
+    interleave3,
+    key_range_of_node,
+    morton_decode,
+    morton_key,
+    octant_at_depth,
+    quantize,
+)
+
+
+def test_interleave_roundtrip():
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 1 << MAX_DEPTH, 1000, dtype=np.uint64)
+    y = rng.integers(0, 1 << MAX_DEPTH, 1000, dtype=np.uint64)
+    z = rng.integers(0, 1 << MAX_DEPTH, 1000, dtype=np.uint64)
+    keys = interleave3(x, y, z)
+    xr, yr, zr = deinterleave3(keys)
+    assert np.array_equal(x, xr)
+    assert np.array_equal(y, yr)
+    assert np.array_equal(z, zr)
+
+
+def test_interleave_bit_layout():
+    # x contributes the most significant bit of each 3-bit group
+    key = interleave3(np.array([1], dtype=np.uint64), np.array([0], dtype=np.uint64), np.array([0], dtype=np.uint64))
+    assert key[0] == 4
+    key = interleave3(np.array([0], dtype=np.uint64), np.array([1], dtype=np.uint64), np.array([0], dtype=np.uint64))
+    assert key[0] == 2
+    key = interleave3(np.array([0], dtype=np.uint64), np.array([0], dtype=np.uint64), np.array([1], dtype=np.uint64))
+    assert key[0] == 1
+
+
+def test_quantize_clamps_to_box():
+    pts = np.array([[-1.0, 0.5, 2.0], [0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+    g = quantize(pts, np.zeros(3), np.ones(3), depth=4)
+    assert g.min() >= 0 and g.max() <= 15
+    assert g[0, 0] == 0 and g[0, 2] == 15
+
+
+def test_quantize_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        quantize(np.zeros((3, 2)), np.zeros(3), np.ones(3))
+    with pytest.raises(ValueError):
+        quantize(np.zeros((3, 3)), np.zeros(3), np.zeros(3))
+    with pytest.raises(ValueError):
+        quantize(np.zeros((3, 3)), np.zeros(3), np.ones(3), depth=0)
+
+
+def test_morton_sort_groups_octants():
+    """Points in the same octant of the root must be contiguous in key order."""
+    rng = np.random.default_rng(1)
+    pts = rng.random((500, 3))
+    keys = morton_key(pts, np.zeros(3), np.ones(3))
+    order = np.argsort(keys)
+    octant = (
+        (pts[:, 0] >= 0.5).astype(int) * 4
+        + (pts[:, 1] >= 0.5).astype(int) * 2
+        + (pts[:, 2] >= 0.5).astype(int)
+    )
+    sorted_oct = octant[order]
+    # octant ids must be non-decreasing along the sort
+    assert np.all(np.diff(sorted_oct) >= 0)
+
+
+def test_octant_at_depth_matches_geometry():
+    pts = np.array([[0.1, 0.1, 0.1], [0.9, 0.1, 0.1], [0.9, 0.9, 0.9], [0.1, 0.6, 0.2]])
+    keys = morton_key(pts, np.zeros(3), np.ones(3))
+    octs = octant_at_depth(keys, 1)
+    assert list(octs) == [0, 4, 7, 2]
+
+
+def test_morton_decode_within_cell():
+    rng = np.random.default_rng(2)
+    pts = rng.random((200, 3))
+    depth = 8
+    keys = morton_key(pts, np.zeros(3), np.ones(3), depth=depth)
+    dec = morton_decode(keys, np.zeros(3), np.ones(3), depth=depth)
+    cell = 1.0 / (1 << depth)
+    assert np.all(np.abs(dec - pts) <= cell)
+
+
+def test_key_range_of_node_nesting():
+    s0, e0 = key_range_of_node(0, 0)
+    assert s0 == 0 and e0 == 1 << (3 * MAX_DEPTH)
+    # children partition the parent range
+    prev_end = s0
+    for oct_ in range(8):
+        s, e = key_range_of_node(oct_, 1)
+        assert s == prev_end
+        prev_end = e
+    assert prev_end == e0
+
+
+def test_key_range_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        key_range_of_node(0, MAX_DEPTH + 1)
+    with pytest.raises(ValueError):
+        octant_at_depth(np.array([0], dtype=np.uint64), 0)

@@ -1,0 +1,144 @@
+"""Tests for the adaptive octree."""
+
+import numpy as np
+import pytest
+
+from repro.tree.octree import build_octree
+
+
+def test_structural_invariants(rng):
+    pts = rng.random((1000, 3))
+    q = rng.uniform(-1, 1, 1000)
+    tree = build_octree(pts, q, leaf_size=8)
+    tree.validate()
+
+
+def test_every_particle_in_exactly_one_leaf(rng):
+    pts = rng.random((500, 3))
+    tree = build_octree(pts, np.ones(500), leaf_size=4)
+    seen = np.zeros(500, dtype=int)
+    for leaf in tree.leaf_ids():
+        seen[tree.start[leaf] : tree.end[leaf]] += 1
+    assert np.all(seen == 1)
+
+
+def test_leaf_capacity_respected(rng):
+    pts = rng.random((2000, 3))
+    tree = build_octree(pts, np.ones(2000), leaf_size=16)
+    leaves = tree.leaf_ids()
+    counts = tree.end[leaves] - tree.start[leaves]
+    assert counts.max() <= 16
+    assert counts.min() >= 1
+
+
+def test_children_partition_particles(rng):
+    pts = rng.random((800, 3))
+    tree = build_octree(pts, np.ones(800), leaf_size=8)
+    for i in range(tree.n_nodes):
+        if tree.n_children[i]:
+            ch = tree.children(i)
+            total = (tree.end[ch] - tree.start[ch]).sum()
+            assert total == tree.end[i] - tree.start[i]
+
+
+def test_particles_inside_node_boxes(rng):
+    pts = rng.random((600, 3))
+    tree = build_octree(pts, np.ones(600), leaf_size=8)
+    for i in range(tree.n_nodes):
+        sl = tree.particles_of(i)
+        d = np.abs(tree.points[sl] - tree.center_geom[i])
+        assert np.all(d <= tree.half_size[i] * (1 + 1e-9))
+
+
+def test_radius_encloses_particles(rng):
+    pts = rng.random((600, 3))
+    q = rng.uniform(-2, 2, 600)
+    tree = build_octree(pts, q, leaf_size=8)
+    for i in range(tree.n_nodes):
+        sl = tree.particles_of(i)
+        d = np.linalg.norm(tree.points[sl] - tree.center_exp[i], axis=1)
+        assert d.max() <= tree.radius[i] * (1 + 1e-12) + 1e-15
+
+
+def test_charge_aggregates(rng):
+    pts = rng.random((400, 3))
+    q = rng.uniform(-1, 1, 400)
+    tree = build_octree(pts, q, leaf_size=8)
+    for i in range(0, tree.n_nodes, 7):
+        sl = tree.particles_of(i)
+        assert tree.abs_charge[i] == pytest.approx(np.abs(tree.charges[sl]).sum())
+        assert tree.net_charge[i] == pytest.approx(tree.charges[sl].sum())
+    # root totals
+    assert tree.abs_charge[0] == pytest.approx(np.abs(q).sum())
+    assert tree.net_charge[0] == pytest.approx(q.sum())
+
+
+def test_expansion_center_modes(rng):
+    pts = rng.random((300, 3))
+    q = rng.uniform(0.1, 1, 300)
+    t_box = build_octree(pts, q, expansion_center="box")
+    t_com = build_octree(pts, q, expansion_center="abs_com")
+    assert np.allclose(t_box.center_exp, t_box.center_geom)
+    # abs_com differs from box center in general, and lies inside the box
+    assert not np.allclose(t_com.center_exp, t_com.center_geom)
+    d = np.abs(t_com.center_exp - t_com.center_geom)
+    assert np.all(d <= t_com.half_size[:, None] * (1 + 1e-9))
+
+
+def test_level_ranges_cover_all_nodes(rng):
+    pts = rng.random((500, 3))
+    tree = build_octree(pts, np.ones(500), leaf_size=4)
+    total = sum(hi - lo for lo, hi in tree.level_ranges)
+    assert total == tree.n_nodes
+    for d, (lo, hi) in enumerate(tree.level_ranges):
+        assert np.all(tree.level[lo:hi] == d)
+
+
+def test_morton_order_preserved(rng):
+    """perm must map the sorted arrays back to the caller's input."""
+    pts = rng.random((200, 3))
+    q = rng.uniform(-1, 1, 200)
+    tree = build_octree(pts, q)
+    assert np.allclose(pts[tree.perm], tree.points)
+    assert np.allclose(q[tree.perm], tree.charges)
+
+
+def test_duplicate_points_handled():
+    pts = np.tile(np.array([[0.5, 0.5, 0.5]]), (50, 1))
+    pts = np.concatenate([pts, np.random.default_rng(0).random((50, 3))])
+    tree = build_octree(pts, np.ones(100), leaf_size=4, max_depth=6)
+    tree.validate()
+    # duplicates end up in one deep leaf that may exceed leaf_size
+    leaves = tree.leaf_ids()
+    assert (tree.end[leaves] - tree.start[leaves]).sum() == 100
+
+
+def test_single_particle():
+    tree = build_octree(np.array([[0.3, 0.4, 0.5]]), np.array([2.0]))
+    assert tree.n_nodes == 1
+    assert tree.radius[0] == pytest.approx(0.0, abs=1e-12)
+    assert tree.abs_charge[0] == 2.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((0, 3)), np.zeros(0))
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((5, 2)), np.zeros(5))
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((5, 3)), np.zeros(4))
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((5, 3)), np.zeros(5), leaf_size=0)
+    with pytest.raises(ValueError):
+        build_octree(np.zeros((5, 3)), np.zeros(5), expansion_center="bogus")
+
+
+def test_gaussian_distribution_adaptivity(rng):
+    """A concentrated distribution should produce a deeper tree than a
+    uniform one with the same n and leaf size."""
+    n = 2000
+    uni = rng.random((n, 3))
+    gau = rng.normal(0.5, 0.02, (n, 3))
+    t_uni = build_octree(uni, np.ones(n), leaf_size=8)
+    t_gau = build_octree(gau, np.ones(n), leaf_size=8)
+    assert t_gau.height > t_uni.height

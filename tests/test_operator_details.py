@@ -1,0 +1,105 @@
+"""Detailed tests for the BEM operator internals and solver options."""
+
+import numpy as np
+import pytest
+
+from repro.bem import SingleLayerOperator, icosphere, solve_dirichlet
+from repro.core.degree import FixedDegree
+
+
+@pytest.fixture(scope="module")
+def sphere():
+    return icosphere(1)  # 42 vertices — small enough for dense math
+
+
+def test_near_diagonal_estimates_dense_diagonal(sphere):
+    """The near-field diagonal must approximate the true matrix diagonal
+    (the self-element terms dominate A_ii)."""
+    op = SingleLayerOperator(sphere, n_gauss=6, degree_policy=FixedDegree(6))
+    d_near = op.near_diagonal()
+    d_true = np.diag(op.dense_matrix())
+    ratio = d_near / d_true
+    assert np.all(ratio > 0.5)
+    assert np.all(ratio <= 1.0 + 1e-12)  # subset of positive contributions
+    assert np.median(ratio) > 0.7
+
+
+def test_jacobi_and_plain_agree(sphere):
+    """Both preconditioning choices must converge to the same density."""
+    kwargs = dict(n_gauss=3, degree_policy=FixedDegree(6), tol=1e-9, maxiter=300)
+    s_plain = solve_dirichlet(sphere, 1.0, precondition="none", **kwargs)
+    s_jac = solve_dirichlet(sphere, 1.0, precondition="jacobi", **kwargs)
+    assert s_plain.gmres.converged and s_jac.gmres.converged
+    assert np.allclose(s_plain.sigma, s_jac.sigma, rtol=1e-5)
+
+
+def test_unknown_preconditioner(sphere):
+    with pytest.raises(ValueError):
+        solve_dirichlet(sphere, 1.0, n_gauss=3, precondition="ilu")
+
+
+def test_operator_reuse(sphere):
+    """A prebuilt operator can be reused across solves (stats accumulate)."""
+    op = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(5))
+    s1 = solve_dirichlet(sphere, 1.0, operator=op, tol=1e-6)
+    n1 = op.n_matvecs
+    s2 = solve_dirichlet(sphere, 2.0, operator=op, tol=1e-6)
+    assert op.n_matvecs > n1
+    # linearity: doubling the boundary value doubles the density
+    assert np.allclose(s2.sigma, 2.0 * s1.sigma, rtol=1e-4)
+
+
+def test_vector_boundary_values(sphere):
+    """Non-constant Dirichlet data: potential of an off-center unit
+    charge; the solved density must reproduce that potential."""
+    src = np.array([0.2, 0.1, 0.0])  # inside the sphere
+    g = 1.0 / (4 * np.pi * np.linalg.norm(sphere.vertices - src, axis=1))
+    sol = solve_dirichlet(
+        sphere, g, n_gauss=6, degree_policy=FixedDegree(7), tol=1e-8, maxiter=300
+    )
+    assert sol.gmres.converged
+    # total induced charge equals the enclosed charge (Gauss's law)
+    from repro.bem import nodal_integral
+
+    q_total = nodal_integral(sphere, sol.sigma)
+    assert q_total == pytest.approx(1.0, rel=0.05)
+
+
+def test_matvec_count_tracks_gmres(sphere):
+    op = SingleLayerOperator(sphere, n_gauss=3, degree_policy=FixedDegree(5))
+    sol = solve_dirichlet(sphere, 1.0, operator=op, tol=1e-7)
+    # one matvec per inner iteration plus one residual check per cycle
+    assert sol.gmres.n_iterations <= op.n_matvecs <= sol.gmres.n_iterations + sol.gmres.n_restarts + 1
+
+
+def test_gauss_point_counts(sphere):
+    for k in (1, 3, 6, 7):
+        op = SingleLayerOperator(sphere, n_gauss=k, degree_policy=FixedDegree(4))
+        assert op.points.shape == (sphere.n_triangles * k, 3)
+        assert op.gp_nodes.shape == (sphere.n_triangles * k, 3)
+
+
+def test_quadrature_refinement_converges(sphere):
+    """Higher-order quadrature changes the operator less and less."""
+    x = np.ones(sphere.n_vertices)
+    outs = {}
+    for k in (1, 3, 6, 7):
+        op = SingleLayerOperator(sphere, n_gauss=k, degree_policy=FixedDegree(9), alpha=0.3)
+        outs[k] = op.matvec(x)
+    d13 = np.linalg.norm(outs[1] - outs[3])
+    d67 = np.linalg.norm(outs[6] - outs[7])
+    assert d67 < d13
+
+
+def test_nonfinite_inputs_rejected():
+    pts = np.random.default_rng(0).random((20, 3))
+    pts[3, 1] = np.nan
+    from repro.tree.octree import build_octree
+
+    with pytest.raises(ValueError):
+        build_octree(pts, np.ones(20))
+    pts[3, 1] = 0.5
+    q = np.ones(20)
+    q[7] = np.inf
+    with pytest.raises(ValueError):
+        build_octree(pts, q)

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bounds import theorem1_bound, theorem3_degree
+from repro.core.degree import AdaptiveChargeDegree, FixedDegree
+from repro.core.treecode import Treecode
+from repro.direct import direct_potential
+from repro.multipole.expansion import m2p, p2m
+from repro.multipole.translations import m2m
+from repro.tree.hilbert import grid_from_hilbert_key, hilbert_key_from_grid
+from repro.tree.morton import deinterleave3, interleave3
+from repro.tree.octree import build_octree
+
+finite_coords = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    arrays(np.uint64, (20, 3), elements=st.integers(0, (1 << 20) - 1)),
+)
+@settings(max_examples=50, deadline=None)
+def test_morton_roundtrip_property(grid):
+    keys = interleave3(grid[:, 0], grid[:, 1], grid[:, 2])
+    x, y, z = deinterleave3(keys)
+    assert np.array_equal(np.stack([x, y, z], axis=1), grid)
+
+
+@given(
+    arrays(np.uint64, (10, 3), elements=st.integers(0, (1 << 12) - 1)),
+    st.integers(12, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_hilbert_roundtrip_property(grid, bits):
+    keys = hilbert_key_from_grid(grid, bits)
+    assert np.array_equal(grid_from_hilbert_key(keys, bits), grid)
+
+
+@given(st.integers(10, 120), st.integers(1, 16), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_octree_partition_property(n, leaf_size, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 3))
+    q = rng.uniform(-1, 1, n)
+    tree = build_octree(pts, q, leaf_size=leaf_size)
+    tree.validate()
+    leaves = tree.leaf_ids()
+    assert (tree.end[leaves] - tree.start[leaves]).sum() == n
+    # aggregates at the root
+    assert np.isclose(tree.abs_charge[0], np.abs(q).sum())
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(2, 8))
+@settings(max_examples=20, deadline=None)
+def test_multipole_bound_property(seed, p):
+    """Theorem 1 dominates the observed truncation error for arbitrary
+    random clusters and targets."""
+    rng = np.random.default_rng(seed)
+    src = rng.normal(size=(15, 3)) * 0.3
+    q = rng.uniform(-1, 1, 15)
+    a = float(np.linalg.norm(src, axis=1).max())
+    if a == 0:
+        return
+    A = float(np.abs(q).sum())
+    tgt = rng.normal(size=(5, 3))
+    nrm = np.linalg.norm(tgt, axis=1, keepdims=True)
+    tgt = tgt / np.maximum(nrm, 1e-12) * (a * rng.uniform(1.5, 4.0))
+    r = np.linalg.norm(tgt, axis=1)
+    M = p2m(src, q, p)
+    approx = m2p(M, tgt, p)
+    d = tgt[:, None, :] - src[None, :, :]
+    exact = (1.0 / np.sqrt(np.einsum("tsi,tsi->ts", d, d))) @ q
+    bound = theorem1_bound(A, a, r, p)
+    assert np.all(np.abs(approx - exact) <= bound * (1 + 1e-9) + 1e-13)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_m2m_exactness_property(seed):
+    rng = np.random.default_rng(seed)
+    p = int(rng.integers(1, 9))
+    src = rng.normal(size=(10, 3)) * 0.3
+    q = rng.uniform(-1, 1, 10)
+    c = rng.normal(size=3) * 0.5
+    shifted = m2m(p2m(src - c, q, p), c[None, :], p)[0]
+    direct = p2m(src, q, p)
+    scale = max(1.0, float(np.abs(direct).max()))
+    assert np.allclose(shifted, direct, rtol=1e-9, atol=1e-11 * scale)
+
+
+@given(
+    st.floats(0.2, 0.8),
+    st.integers(1, 8),
+    st.floats(0.1, 1000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_theorem3_floor_and_monotonicity(alpha, p0, ratio):
+    """Degree is >= p0 always, and monotone in the charge ratio."""
+    A = np.array([ratio, ratio * 2])
+    p = theorem3_degree(A, 1.0, p0, alpha)
+    assert p[0] >= p0
+    assert p[1] >= p[0]
+
+
+@given(st.integers(0, 2**31 - 1), st.floats(0.3, 0.7))
+@settings(max_examples=10, deadline=None)
+def test_treecode_bound_property(seed, alpha):
+    """End-to-end: accumulated bound dominates observed error for random
+    small systems and both policies."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(50, 150))
+    pts = rng.random((n, 3))
+    q = rng.uniform(-1, 1, n)
+    ref = direct_potential(pts, q)
+    for policy in (FixedDegree(3), AdaptiveChargeDegree(p0=3, alpha=alpha)):
+        tc = Treecode(pts, q, degree_policy=policy, alpha=alpha, leaf_size=4)
+        res = tc.evaluate(accumulate_bounds=True)
+        assert np.all(np.abs(res.potential - ref) <= res.error_bound + 1e-11)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_treecode_translation_invariance(seed):
+    """Shifting all particles rigidly must not change potentials (beyond
+    tiny floating-point differences)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((120, 3))
+    q = rng.uniform(-1, 1, 120)
+    shift = rng.normal(size=3) * 10
+    r1 = Treecode(pts, q, degree_policy=FixedDegree(5)).evaluate().potential
+    r2 = Treecode(pts + shift, q, degree_policy=FixedDegree(5)).evaluate().potential
+    assert np.allclose(r1, r2, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for triangle Gaussian quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.bem.geometries import icosphere
+from repro.bem.mesh import TriangleMesh
+from repro.bem.quadrature import RULES, mesh_quadrature, triangle_rule
+
+
+def integrate_monomial(rule_pts, rule_w, i, j):
+    """Integral of x^i y^j over the reference triangle via a rule mapped
+    to the triangle (0,0)-(1,0)-(0,1)."""
+    x = rule_pts[:, 1]  # barycentric: (1-u-v, u, v) -> x=u, y=v
+    y = rule_pts[:, 2]
+    return 0.5 * np.sum(rule_w * x**i * y**j)
+
+
+def exact_monomial(i, j):
+    """∫∫_T x^i y^j dx dy over the unit right triangle = i! j! / (i+j+2)!"""
+    from math import factorial
+
+    return factorial(i) * factorial(j) / factorial(i + j + 2)
+
+
+DEGREE_EXACT = {1: 1, 3: 2, 4: 3, 6: 4, 7: 5}
+
+
+@pytest.mark.parametrize("k", sorted(RULES))
+def test_rule_weights_sum_to_one(k):
+    pts, w = triangle_rule(k)
+    assert w.sum() == pytest.approx(1.0, rel=1e-12)
+    assert pts.shape == (k, 3)
+    assert np.allclose(pts.sum(axis=1), 1.0)
+
+
+@pytest.mark.parametrize("k", sorted(RULES))
+def test_rule_points_strictly_interior(k):
+    pts, _ = triangle_rule(k)
+    assert pts.min() > 0.0  # never on an edge or vertex
+
+
+@pytest.mark.parametrize("k", sorted(RULES))
+def test_polynomial_exactness(k):
+    pts, w = triangle_rule(k)
+    deg = DEGREE_EXACT[k]
+    for i in range(deg + 1):
+        for j in range(deg + 1 - i):
+            got = integrate_monomial(pts, w, i, j)
+            assert got == pytest.approx(exact_monomial(i, j), rel=1e-12, abs=1e-14), (
+                k,
+                i,
+                j,
+            )
+
+
+def test_6_point_rule_not_exact_at_degree_5():
+    pts, w = triangle_rule(6)
+    got = integrate_monomial(pts, w, 5, 0)
+    assert got != pytest.approx(exact_monomial(5, 0), rel=1e-12)
+
+
+def test_unknown_rule():
+    with pytest.raises(ValueError):
+        triangle_rule(2)
+
+
+def test_mesh_quadrature_total_weight():
+    """Weights must sum to the total surface area."""
+    m = icosphere(2)
+    for k in (1, 3, 6):
+        _, w, _ = mesh_quadrature(m, k)
+        assert w.sum() == pytest.approx(m.total_area(), rel=1e-12)
+
+
+def test_mesh_quadrature_element_map():
+    m = icosphere(1)
+    pts, w, elem = mesh_quadrature(m, 6)
+    assert pts.shape == (m.n_triangles * 6, 3)
+    assert elem.shape == (m.n_triangles * 6,)
+    assert np.all(np.bincount(elem) == 6)
+
+
+def test_mesh_quadrature_points_on_elements():
+    """Each quadrature point must lie in the plane of its triangle."""
+    v = np.array([[0, 0, 0], [2, 0, 0], [0, 3, 0], [0, 0, 4]], dtype=float)
+    t = np.array([[0, 1, 2], [0, 1, 3]])
+    m = TriangleMesh(v, t)
+    pts, w, elem = mesh_quadrature(m, 3)
+    # first element lies in z=0, second in y=0
+    assert np.allclose(pts[elem == 0][:, 2], 0.0)
+    assert np.allclose(pts[elem == 1][:, 1], 0.0)
+
+
+def test_quadrature_integrates_linear_field():
+    """∫ x dS over a triangle equals area * centroid_x — exact for k>=3."""
+    v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+    m = TriangleMesh(v, np.array([[0, 1, 2]]))
+    pts, w, _ = mesh_quadrature(m, 3)
+    got = np.sum(w * pts[:, 0])
+    assert got == pytest.approx(0.5 * (1 / 3), rel=1e-12)

@@ -1,0 +1,93 @@
+"""Tests for Plummer softening in the direct and treecode kernels."""
+
+import numpy as np
+import pytest
+
+from repro import FixedDegree, Treecode, direct_gradient, direct_potential
+from repro.direct import pairwise_potential
+
+
+def test_softened_potential_value():
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    q = np.array([1.0, 1.0])
+    eps = 0.5
+    phi = direct_potential(pts, q, softening=eps)
+    expected = 1.0 / np.sqrt(1.0 + eps**2)
+    assert phi[0] == pytest.approx(expected)
+    assert phi[1] == pytest.approx(expected)
+
+
+def test_softening_bounds_close_encounters():
+    """Potential of a very close pair is capped at ~q/eps."""
+    pts = np.array([[0.0, 0.0, 0.0], [1e-12, 0.0, 0.0]])
+    q = np.ones(2)
+    phi = direct_potential(pts, q, softening=0.1)
+    assert phi[0] == pytest.approx(10.0, rel=1e-6)
+
+
+def test_softened_gradient_finite_and_matches_fd():
+    rng = np.random.default_rng(0)
+    pts = rng.random((40, 3))
+    q = rng.uniform(-1, 1, 40)
+    eps = 0.05
+    tgt = rng.random((10, 3))
+    g = direct_gradient(pts, q, targets=tgt, softening=eps)
+    h = 1e-6
+    for i in range(3):
+        e = np.zeros(3)
+        e[i] = h
+        fd = (
+            direct_potential(pts, q, targets=tgt + e, softening=eps)
+            - direct_potential(pts, q, targets=tgt - e, softening=eps)
+        ) / (2 * h)
+        assert np.allclose(g[:, i], fd, rtol=1e-5, atol=1e-8)
+
+
+def test_treecode_softening_matches_direct():
+    rng = np.random.default_rng(1)
+    pts = rng.random((500, 3))
+    q = rng.uniform(0.5, 1.5, 500)
+    eps = 0.02
+    ref = direct_potential(pts, q, softening=eps)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(7), alpha=0.3, softening=eps)
+    res = tc.evaluate()
+    err = np.linalg.norm(res.potential - ref) / np.linalg.norm(ref)
+    # far field is unsoftened: the residual is O(eps^2 / r^3) + truncation
+    assert err < 5e-4
+
+
+def test_treecode_softening_gradient_finite_at_collisions():
+    pts = np.concatenate(
+        [np.full((5, 3), 0.5), np.random.default_rng(2).random((100, 3))]
+    )
+    q = np.ones(105)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(4), softening=0.01, max_depth=8)
+    res = tc.evaluate(compute="both")
+    assert np.all(np.isfinite(res.potential))
+    assert np.all(np.isfinite(res.gradient))
+
+
+def test_zero_softening_unchanged():
+    rng = np.random.default_rng(3)
+    pts = rng.random((200, 3))
+    q = rng.uniform(-1, 1, 200)
+    a = direct_potential(pts, q)
+    b = direct_potential(pts, q, softening=0.0)
+    assert np.array_equal(a, b)
+
+
+def test_pairwise_softening_with_exclusion():
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+    q = np.ones(3)
+    eps = 0.3
+    out = pairwise_potential(
+        pts[:1], pts, q, exclude=np.array([0]), softening=eps
+    )
+    expected = 1 / np.sqrt(1 + eps**2) + 1 / np.sqrt(4 + eps**2)
+    assert out[0] == pytest.approx(expected)
+
+
+def test_negative_softening_rejected():
+    pts = np.random.default_rng(0).random((10, 3))
+    with pytest.raises(ValueError):
+        Treecode(pts, np.ones(10), softening=-0.1)

@@ -1,0 +1,72 @@
+"""Tests for TreecodeStats accounting and merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.treecode import Treecode, TreecodeStats
+from repro.core.degree import FixedDegree
+
+
+def test_merge_accumulates():
+    a = TreecodeStats(
+        n_targets=10,
+        n_pc_interactions=5,
+        n_pp_pairs=3,
+        n_terms=125,
+        interactions_by_degree={4: 5},
+        interactions_by_level={2: 5},
+        traverse_time=0.1,
+        eval_time=0.2,
+    )
+    b = TreecodeStats(
+        n_targets=7,
+        n_pc_interactions=2,
+        n_pp_pairs=1,
+        n_terms=50,
+        interactions_by_degree={4: 1, 6: 1},
+        interactions_by_level={3: 2},
+        traverse_time=0.05,
+        eval_time=0.05,
+    )
+    a.merge(b)
+    assert a.n_targets == 17
+    assert a.n_pc_interactions == 7
+    assert a.n_pp_pairs == 4
+    assert a.n_terms == 175
+    assert a.interactions_by_degree == {4: 6, 6: 1}
+    assert a.interactions_by_level == {2: 5, 3: 2}
+    assert a.traverse_time == pytest.approx(0.15)
+
+
+def test_total_time_property():
+    s = TreecodeStats(build_time=1.0, upward_time=2.0, traverse_time=3.0, eval_time=4.0)
+    assert s.total_time == pytest.approx(10.0)
+
+
+def test_term_accounting_matches_per_degree(rng):
+    """n_terms must equal the sum over degrees of count*(p+1)^2."""
+    pts = rng.random((600, 3))
+    q = rng.uniform(-1, 1, 600)
+    tc = Treecode(pts, q, alpha=0.5)  # default adaptive policy
+    s = tc.evaluate().stats
+    recomputed = sum(c * (p + 1) ** 2 for p, c in s.interactions_by_degree.items())
+    assert s.n_terms == recomputed
+
+
+def test_base_stats_times_populated(rng):
+    pts = rng.random((300, 3))
+    tc = Treecode(pts, np.ones(300), degree_policy=FixedDegree(4))
+    assert tc.base_stats.build_time > 0
+    assert tc.base_stats.upward_time > 0
+
+
+def test_external_vs_self_target_counts(rng):
+    """Self-evaluation excludes exactly n self-pairs relative to
+    evaluating the same points as external targets."""
+    pts = rng.random((400, 3))
+    q = rng.uniform(0.5, 1.5, 400)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(4), alpha=0.5)
+    s_self = tc.evaluate().stats
+    s_ext = tc.evaluate(targets=pts).stats
+    assert s_ext.n_pp_pairs == s_self.n_pp_pairs + 400
+    assert s_ext.n_pc_interactions == s_self.n_pc_interactions

@@ -1,0 +1,83 @@
+"""Tests for degree_for_tolerance and the ToleranceDegree policy."""
+
+import numpy as np
+import pytest
+
+from repro import FixedDegree, ToleranceDegree, Treecode, direct_potential
+from repro.core.bounds import degree_for_tolerance, theorem1_bound
+from repro.tree.octree import build_octree
+
+
+def test_degree_for_tolerance_meets_bound():
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        A = rng.uniform(0.1, 100)
+        a = rng.uniform(0.01, 1.0)
+        r = a * rng.uniform(1.5, 5.0)
+        tol = 10.0 ** rng.uniform(-10, -2)
+        p = int(degree_for_tolerance(A, a, r, tol))
+        if p < 60:
+            assert theorem1_bound(A, a, r, p) <= tol * (1 + 1e-9)
+            if p > 0:
+                # minimality: one degree less does not meet the tolerance
+                assert theorem1_bound(A, a, r, p - 1) > tol
+
+
+def test_degree_for_tolerance_edge_cases():
+    # unreachable geometry -> p_max
+    assert degree_for_tolerance(1.0, 1.0, 0.9, 1e-6, p_max=20) == 20
+    # zero radius -> monopole exact
+    assert degree_for_tolerance(1.0, 0.0, 1.0, 1e-12) == 0
+    # loose tolerance -> low degree
+    assert degree_for_tolerance(1.0, 0.1, 1.0, 10.0) == 0
+    with pytest.raises(ValueError):
+        degree_for_tolerance(1.0, 0.1, 1.0, 0.0)
+
+
+def test_degree_for_tolerance_monotone_in_tol():
+    ps = [
+        int(degree_for_tolerance(5.0, 0.2, 1.0, tol))
+        for tol in (1e-2, 1e-4, 1e-6, 1e-8)
+    ]
+    assert all(b >= a for a, b in zip(ps, ps[1:]))
+
+
+def test_tolerance_policy_controls_error(rng):
+    pts = rng.random((800, 3))
+    q = rng.uniform(0.5, 1.5, 800)
+    ref = direct_potential(pts, q)
+    errs = []
+    for tol in (1e-1, 1e-3, 1e-5):
+        tc = Treecode(
+            pts, q, degree_policy=ToleranceDegree(tol=tol, alpha=0.5), alpha=0.5
+        )
+        res = tc.evaluate(accumulate_bounds=True)
+        errs.append(np.abs(res.potential - ref).max())
+        # bound still rigorous
+        assert np.all(np.abs(res.potential - ref) <= res.error_bound + 1e-12)
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_tolerance_policy_per_interaction_bound(rng):
+    """Every accepted interaction's Theorem-1 bound at the worst legal
+    distance is below tol (up to the p_max clamp)."""
+    pts = rng.random((500, 3))
+    q = rng.uniform(0.5, 1.5, 500)
+    tol = 1e-4
+    pol = ToleranceDegree(tol=tol, alpha=0.5, p_max=40)
+    tree = build_octree(pts, q)
+    p = pol.degrees(tree)
+    ok = p < 40
+    a = tree.radius[ok]
+    bound = theorem1_bound(tree.abs_charge[ok], a, np.maximum(a / 0.5, 1e-300), p[ok])
+    inner = a > 0
+    assert np.all(bound[inner] <= tol * (1 + 1e-9))
+
+
+def test_tolerance_policy_validation():
+    with pytest.raises(ValueError):
+        ToleranceDegree(tol=-1.0)
+    with pytest.raises(ValueError):
+        ToleranceDegree(alpha=1.5)
+    with pytest.raises(ValueError):
+        ToleranceDegree(p_min=5, p_max=3)
