@@ -14,7 +14,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span
+
 __all__ = ["gmres", "GMRESResult"]
+
+
+def _observe_residual(rel: float) -> None:
+    """Publish one inner iteration's residual to the metrics registry:
+    a gauge (latest value) plus a decade-bucketed histogram, so the
+    residual trajectory of a solve is visible in the exposition."""
+    REGISTRY.counter("gmres_iterations", "GMRES inner iterations (matvecs)").inc()
+    REGISTRY.gauge("gmres_residual", "latest GMRES relative residual").set(rel)
+    REGISTRY.histogram(
+        "gmres_residual_hist",
+        "distribution of per-iteration relative residuals",
+        base=10.0,
+    ).observe(rel)
 
 
 @dataclass
@@ -76,9 +92,11 @@ def gmres(
     history: list[float] = []
     total_iters = 0
     n_restarts = 0
+    obs_on = is_enabled()
 
     while total_iters < maxiter:
-        r = b - matvec(x)
+        with span("gmres.matvec", kind="residual"):
+            r = b - matvec(x)
         beta = np.linalg.norm(r)
         rel = beta / bnorm
         if not history:
@@ -90,68 +108,74 @@ def gmres(
             )
 
         m = min(restart, maxiter - total_iters)
-        V = np.zeros((m + 1, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
-        V[0] = r / beta
-        g[0] = beta
-        k_done = 0
+        with span("gmres.cycle", restart=n_restarts, start_iter=total_iters):
+            V = np.zeros((m + 1, n))
+            H = np.zeros((m + 1, m))
+            cs = np.zeros(m)
+            sn = np.zeros(m)
+            g = np.zeros(m + 1)
+            V[0] = r / beta
+            g[0] = beta
+            k_done = 0
 
-        for k in range(m):
-            # copy: a matvec may return its input (e.g. the identity),
-            # and Gram-Schmidt below modifies w in place
-            w = np.array(matvec(V[k]), dtype=np.float64, copy=True)
-            # modified Gram-Schmidt
-            for j in range(k + 1):
-                H[j, k] = np.dot(w, V[j])
-                w -= H[j, k] * V[j]
-            H[k + 1, k] = np.linalg.norm(w)
-            if H[k + 1, k] > 1e-14 * beta:
-                V[k + 1] = w / H[k + 1, k]
-            # apply previous Givens rotations to the new column
-            for j in range(k):
-                t = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
-                H[j + 1, k] = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
-                H[j, k] = t
-            # new rotation to annihilate H[k+1, k]
-            denom = np.hypot(H[k, k], H[k + 1, k])
-            if denom == 0.0:
-                cs[k], sn[k] = 1.0, 0.0
-            else:
-                cs[k] = H[k, k] / denom
-                sn[k] = H[k + 1, k] / denom
-            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
-            H[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
+            for k in range(m):
+                # copy: a matvec may return its input (e.g. the identity),
+                # and Gram-Schmidt below modifies w in place
+                with span("gmres.matvec", iteration=total_iters):
+                    w = np.array(matvec(V[k]), dtype=np.float64, copy=True)
+                # modified Gram-Schmidt
+                for j in range(k + 1):
+                    H[j, k] = np.dot(w, V[j])
+                    w -= H[j, k] * V[j]
+                H[k + 1, k] = np.linalg.norm(w)
+                if H[k + 1, k] > 1e-14 * beta:
+                    V[k + 1] = w / H[k + 1, k]
+                # apply previous Givens rotations to the new column
+                for j in range(k):
+                    t = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
+                    H[j + 1, k] = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
+                    H[j, k] = t
+                # new rotation to annihilate H[k+1, k]
+                denom = np.hypot(H[k, k], H[k + 1, k])
+                if denom == 0.0:
+                    cs[k], sn[k] = 1.0, 0.0
+                else:
+                    cs[k] = H[k, k] / denom
+                    sn[k] = H[k + 1, k] / denom
+                H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+                H[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
 
-            total_iters += 1
-            k_done = k + 1
-            rel = abs(g[k + 1]) / bnorm
-            history.append(float(rel))
-            if callback is not None:
-                callback(float(rel))
-            if rel <= tol:
-                break
+                total_iters += 1
+                k_done = k + 1
+                rel = abs(g[k + 1]) / bnorm
+                history.append(float(rel))
+                if obs_on:
+                    _observe_residual(float(rel))
+                if callback is not None:
+                    callback(float(rel))
+                if rel <= tol:
+                    break
 
-        # solve the small triangular system and update x
-        y = np.zeros(k_done)
-        for i in range(k_done - 1, -1, -1):
-            y[i] = (g[i] - H[i, i + 1 : k_done] @ y[i + 1 : k_done]) / H[i, i]
-        x = x + V[:k_done].T @ y
-        n_restarts += 1
+            # solve the small triangular system and update x
+            y = np.zeros(k_done)
+            for i in range(k_done - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1 : k_done] @ y[i + 1 : k_done]) / H[i, i]
+            x = x + V[:k_done].T @ y
+            n_restarts += 1
 
         if rel <= tol:
-            r = b - matvec(x)
+            with span("gmres.matvec", kind="residual"):
+                r = b - matvec(x)
             return GMRESResult(
                 x=x, converged=True, n_iterations=total_iters,
                 n_restarts=n_restarts, residual_norm=float(np.linalg.norm(r)),
                 history=history,
             )
 
-    r = b - matvec(x)
+    with span("gmres.matvec", kind="residual"):
+        r = b - matvec(x)
     return GMRESResult(
         x=x, converged=False, n_iterations=total_iters, n_restarts=n_restarts,
         residual_norm=float(np.linalg.norm(r)), history=history,

@@ -25,6 +25,8 @@ import numpy as np
 
 from ..core.degree import DegreePolicy, FixedDegree
 from ..core.treecode import Treecode, TreecodeStats
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span
 from .mesh import TriangleMesh
 from .quadrature import mesh_quadrature, triangle_rule
 
@@ -80,7 +82,8 @@ class SingleLayerOperator:
             leaf_size=leaf_size,
         )
         # Geometry-only interaction lists for the collocation targets.
-        self._lists = self.treecode.traverse(mesh.vertices, self_targets=False)
+        with span("treecode.traverse", targets=int(mesh.n_vertices)):
+            self._lists = self.treecode.traverse(mesh.vertices, self_targets=False)
         self.stats = TreecodeStats()
         self.n_matvecs = 0
 
@@ -101,11 +104,14 @@ class SingleLayerOperator:
 
     def matvec(self, sigma: np.ndarray) -> np.ndarray:
         """Apply the operator: potential at the vertices for density sigma."""
-        q = self.charges_for(sigma)
-        self.treecode.set_charges(q)
-        res = self.treecode.evaluate_lists(
-            self._lists, self.mesh.vertices, self_targets=False
-        )
+        with span("bem.matvec", matvec=self.n_matvecs):
+            q = self.charges_for(sigma)
+            self.treecode.set_charges(q)
+            res = self.treecode.evaluate_lists(
+                self._lists, self.mesh.vertices, self_targets=False
+            )
+        if is_enabled():
+            REGISTRY.counter("bem_matvecs", "boundary-operator applications").inc()
         self.stats.merge(res.stats)
         self.n_matvecs += 1
         return res.potential

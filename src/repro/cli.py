@@ -5,6 +5,20 @@ ablation) and prints it in the format of
 :mod:`repro.analysis.tables`.  ``--scale full`` runs paper-scale
 instances (slow); the default ``small`` scale reproduces every shape in
 minutes on a laptop.
+
+Observability (see :mod:`repro.obs`):
+
+* ``python -m repro profile <experiment>`` runs an experiment with
+  tracing and metrics enabled and prints a phase/counter summary;
+* ``--trace FILE`` writes a Chrome-trace JSON of the run (open it in
+  Perfetto, https://ui.perfetto.dev);
+* ``--metrics FILE`` writes the metrics registry (Prometheus text, or
+  JSON when FILE ends in ``.json``);
+* ``--report FILE`` (profile only) writes the full
+  :class:`~repro.obs.RunRecorder` JSON report.
+
+The flags also work on plain subcommands, implicitly enabling
+observability for that run.
 """
 
 from __future__ import annotations
@@ -149,6 +163,54 @@ _COMMANDS = {
 }
 
 
+def _metrics_format(path: str) -> str:
+    return "json" if path.endswith(".json") else "text"
+
+
+def _profile_summary(report: dict) -> str:
+    """Human-readable phase/counter summary of a recorded run."""
+    agg: dict[str, list] = {}
+    for ev in report["spans"]:
+        rec = agg.setdefault(ev["name"], [0, 0.0])
+        rec[0] += 1
+        rec[1] += ev["dur"]
+    lines = [f"== profile: {report['name']} (wall {report['wall_time']:.3f}s) =="]
+    lines.append(f"{'span':<28} {'calls':>8} {'total(s)':>10}")
+    for name, (calls, total) in sorted(agg.items(), key=lambda kv: -kv[1][1]):
+        lines.append(f"{name:<28} {calls:>8} {total:>10.4f}")
+    counters = report["metrics"].get("counters", {})
+    flat = [
+        f"{name}={val}"
+        for name, val in sorted(counters.items())
+        if not isinstance(val, dict)
+    ]
+    if flat:
+        lines.append("counters: " + ", ".join(flat))
+    return "\n".join(lines)
+
+
+def _run_profile(args) -> int:
+    """The ``profile`` subcommand: run one experiment fully observed."""
+    from .obs import RunRecorder
+
+    rec = RunRecorder(args.target)
+    with rec:
+        out = _COMMANDS[args.target](args)
+    print(out)
+    print()
+    print(_profile_summary(rec.report()))
+    if args.trace:
+        rec.write_trace(args.trace)
+        print(f"trace written to {args.trace} (open in Perfetto)")
+    if args.metrics:
+        rec.write_metrics(args.metrics, fmt=_metrics_format(args.metrics))
+        print(f"metrics written to {args.metrics}")
+    if args.report:
+        rec.save(args.report)
+        print(f"report written to {args.report}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -156,8 +218,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which experiment to run",
+        choices=sorted(_COMMANDS) + ["all", "profile"],
+        help="which experiment to run, or 'profile' to run one observed",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        metavar="TARGET",
+        help="experiment to profile (only with the 'profile' subcommand)",
     )
     parser.add_argument(
         "--scale",
@@ -167,12 +235,57 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--p0", type=int, default=4, help="base multipole degree")
     parser.add_argument("--alpha", type=float, default=0.4, help="MAC parameter")
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome-trace JSON of the run (view in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a metrics dump (Prometheus text; JSON if FILE ends in .json)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="with 'profile': write the full RunRecorder JSON report",
+    )
     args = parser.parse_args(argv)
 
+    if args.experiment == "profile":
+        if args.target not in _COMMANDS:
+            parser.error(
+                "profile requires one experiment to run: "
+                + ", ".join(sorted(_COMMANDS))
+            )
+        return _run_profile(args)
+    if args.target is not None:
+        parser.error("TARGET is only valid with the 'profile' subcommand")
+
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(_COMMANDS[name](args))
-        print()
+    observe = bool(args.trace or args.metrics)
+    if observe:
+        from .obs import metrics as obs_metrics
+        from .obs import tracing
+
+        was_enabled = tracing.is_enabled()
+        tracing.get_tracer().clear()
+        obs_metrics.REGISTRY.reset()
+        tracing.enable()
+    try:
+        for name in names:
+            print(_COMMANDS[name](args))
+            print()
+    finally:
+        if observe:
+            tracing.set_enabled(was_enabled)
+            if args.trace:
+                tracing.get_tracer().export(args.trace)
+            if args.metrics:
+                if _metrics_format(args.metrics) == "json":
+                    obs_metrics.REGISTRY.export_json(args.metrics)
+                else:
+                    obs_metrics.REGISTRY.export_text(args.metrics)
     return 0
 
 

@@ -35,7 +35,6 @@ and the bound without changing the theory.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,11 +44,19 @@ from ..multipole.expansion import m2p_rows, p2m_terms
 from ..multipole.gradient import m2p_grad_rows
 from ..multipole.harmonics import ncoef, term_count
 from ..multipole.translations import m2m
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span, stopwatch
 from ..tree.octree import Octree, build_octree
 from .bounds import theorem1_bound
 from .degree import AdaptiveChargeDegree, DegreePolicy, FixedDegree
 
-__all__ = ["Treecode", "TreecodeResult", "TreecodeStats", "InteractionLists"]
+__all__ = [
+    "Treecode",
+    "TreecodeResult",
+    "TreecodeStats",
+    "InteractionLists",
+    "record_eval_metrics",
+]
 
 #: Maximum far-field pairs evaluated in one vectorized batch.
 _FAR_CHUNK = 200_000
@@ -72,6 +79,9 @@ class TreecodeStats:
     interactions_by_degree: dict = field(default_factory=dict)
     #: interactions keyed by tree level of the accepted cluster
     interactions_by_level: dict = field(default_factory=dict)
+    #: accumulated Theorem-1 bound keyed by tree level (populated only
+    #: when the evaluation accumulates bounds)
+    bound_by_level: dict = field(default_factory=dict)
     build_time: float = 0.0
     upward_time: float = 0.0
     traverse_time: float = 0.0
@@ -91,8 +101,51 @@ class TreecodeStats:
             self.interactions_by_degree[k] = self.interactions_by_degree.get(k, 0) + v
         for k, v in other.interactions_by_level.items():
             self.interactions_by_level[k] = self.interactions_by_level.get(k, 0) + v
+        for k, v in other.bound_by_level.items():
+            self.bound_by_level[k] = self.bound_by_level.get(k, 0.0) + v
+        self.build_time += other.build_time
+        self.upward_time += other.upward_time
         self.traverse_time += other.traverse_time
         self.eval_time += other.eval_time
+
+
+def record_eval_metrics(stats: "TreecodeStats") -> None:
+    """Publish one evaluation's counters into the process metrics
+    registry (call sites gate on ``repro.obs.is_enabled()``)."""
+    m = REGISTRY
+    m.counter(
+        "pc_interactions", "particle-cluster interactions accepted by the MAC"
+    ).inc(stats.n_pc_interactions)
+    m.counter("pp_pairs", "near-field particle-particle pairs evaluated").inc(
+        stats.n_pp_pairs
+    )
+    m.counter(
+        "terms_evaluated", "multipole terms evaluated (the paper's cost metric)"
+    ).inc(stats.n_terms)
+    if stats.interactions_by_degree:
+        by_deg = m.counter(
+            "pc_interactions_by_degree",
+            "accepted interactions keyed by evaluation degree",
+            labelnames=("degree",),
+        )
+        for p, c in stats.interactions_by_degree.items():
+            by_deg.labels(degree=p).inc(c)
+    if stats.interactions_by_level:
+        by_lvl = m.counter(
+            "pc_interactions_by_level",
+            "accepted interactions keyed by cluster tree level",
+            labelnames=("level",),
+        )
+        for lvl, c in stats.interactions_by_level.items():
+            by_lvl.labels(level=lvl).inc(c)
+    if stats.bound_by_level:
+        bnd = m.counter(
+            "theorem1_bound_by_level",
+            "accumulated Theorem-1 error bound keyed by cluster tree level",
+            labelnames=("level",),
+        )
+        for lvl, b in stats.bound_by_level.items():
+            bnd.labels(level=lvl).inc(b)
 
 
 @dataclass
@@ -188,24 +241,34 @@ class Treecode:
         )
         self.upward = upward
 
-        t0 = time.perf_counter()
-        self.tree: Octree = build_octree(
-            points,
-            charges,
-            leaf_size=leaf_size,
-            expansion_center=expansion_center,
-            max_depth=max_depth,
+        with stopwatch("treecode.build", n=int(points.shape[0])) as sw_build:
+            self.tree: Octree = build_octree(
+                points,
+                charges,
+                leaf_size=leaf_size,
+                expansion_center=expansion_center,
+                max_depth=max_depth,
+            )
+
+        with stopwatch("treecode.upward", upward=upward) as sw_up:
+            self.p_eval = np.asarray(
+                self.degree_policy.degrees(self.tree), dtype=np.int64
+            )
+            if self.p_eval.shape != (self.tree.n_nodes,):
+                raise ValueError("degree policy returned wrong-shaped array")
+            self._build_expansions()
+
+        self.base_stats = TreecodeStats(
+            build_time=sw_build.elapsed, upward_time=sw_up.elapsed
         )
-        build_time = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        self.p_eval = np.asarray(self.degree_policy.degrees(self.tree), dtype=np.int64)
-        if self.p_eval.shape != (self.tree.n_nodes,):
-            raise ValueError("degree policy returned wrong-shaped array")
-        self._build_expansions()
-        upward_time = time.perf_counter() - t0
-
-        self.base_stats = TreecodeStats(build_time=build_time, upward_time=upward_time)
+        if is_enabled():
+            REGISTRY.counter("tree_builds", "octrees constructed").inc()
+            REGISTRY.gauge("tree_height", "height of the most recent octree").set(
+                self.tree.height
+            )
+            REGISTRY.gauge("tree_nodes", "node count of the most recent octree").set(
+                self.tree.n_nodes
+            )
 
     # ------------------------------------------------------------------
     # upward pass
@@ -373,17 +436,17 @@ class Treecode:
         if tgt.ndim != 2 or tgt.shape[1] != 3:
             raise ValueError(f"targets must have shape (t, 3), got {tgt.shape}")
 
-        t0 = time.perf_counter()
-        lists = self.traverse(tgt, self_targets)
-        traverse_time = time.perf_counter() - t0
-        result = self.evaluate_lists(
-            lists,
-            tgt,
-            self_targets=self_targets,
-            compute=compute,
-            accumulate_bounds=accumulate_bounds,
-        )
-        result.stats.traverse_time = traverse_time
+        with span("treecode.evaluate", targets=int(tgt.shape[0]), compute=compute):
+            with stopwatch("treecode.traverse", targets=int(tgt.shape[0])) as sw:
+                lists = self.traverse(tgt, self_targets)
+            result = self.evaluate_lists(
+                lists,
+                tgt,
+                self_targets=self_targets,
+                compute=compute,
+                accumulate_bounds=accumulate_bounds,
+            )
+        result.stats.traverse_time = sw.elapsed
         return result
 
     def evaluate_lists(
@@ -403,7 +466,8 @@ class Treecode:
         application (after :meth:`set_charges`).
         """
         tree = self.tree
-        t0 = time.perf_counter()
+        obs_on = is_enabled()
+        sw_eval = stopwatch("treecode.eval").__enter__()
         nt = tgt.shape[0]
         phi = np.zeros(nt, dtype=np.float64)
         grad = np.zeros((nt, 3), dtype=np.float64) if compute == "both" else None
@@ -412,72 +476,95 @@ class Treecode:
 
         # ---- far field: group pairs by degree, evaluate in chunks ----
         fn, ft = lists.far_nodes, lists.far_targets
-        if fn.size:
-            pdeg = self.p_eval[fn]
-            order = np.argsort(pdeg, kind="stable")
-            fn, ft, pdeg = fn[order], ft[order], pdeg[order]
-            uniq, starts = np.unique(pdeg, return_index=True)
-            bnds = list(starts) + [fn.size]
-            for u, (lo, hi) in zip(uniq, zip(bnds[:-1], bnds[1:])):
-                p = int(u)
-                npairs = hi - lo
-                stats.n_pc_interactions += npairs
-                stats.n_terms += npairs * term_count(p)
-                stats.interactions_by_degree[p] = (
-                    stats.interactions_by_degree.get(p, 0) + npairs
-                )
-                for clo in range(lo, hi, _FAR_CHUNK):
-                    chi = min(clo + _FAR_CHUNK, hi)
-                    nodes = fn[clo:chi]
-                    tids = ft[clo:chi]
-                    rel = tgt[tids] - tree.center_exp[nodes]
-                    vals = m2p_rows(self.coeffs[nodes], rel, p)
-                    np.add.at(phi, tids, vals)
-                    if grad is not None:
-                        gv = m2p_grad_rows(self.coeffs[nodes], rel, p)
-                        np.add.at(grad, tids, gv)
-                    if bound is not None:
-                        r = np.sqrt(
-                            np.einsum("ij,ij->i", rel, rel)
-                        )
-                        b = theorem1_bound(
-                            tree.abs_charge[nodes], tree.radius[nodes], r, p
-                        )
-                        np.add.at(bound, tids, b)
-            # per-level accounting (cheap bincount over all pairs)
-            lev = tree.level[fn]
-            cnt = np.bincount(lev)
-            for L, c in enumerate(cnt):
-                if c:
-                    stats.interactions_by_level[L] = (
-                        stats.interactions_by_level.get(L, 0) + int(c)
+        with span("treecode.far_field", pairs=int(fn.size)):
+            if fn.size:
+                pdeg = self.p_eval[fn]
+                order = np.argsort(pdeg, kind="stable")
+                fn, ft, pdeg = fn[order], ft[order], pdeg[order]
+                uniq, starts = np.unique(pdeg, return_index=True)
+                bnds = list(starts) + [fn.size]
+                for u, (lo, hi) in zip(uniq, zip(bnds[:-1], bnds[1:])):
+                    p = int(u)
+                    npairs = hi - lo
+                    stats.n_pc_interactions += npairs
+                    stats.n_terms += npairs * term_count(p)
+                    stats.interactions_by_degree[p] = (
+                        stats.interactions_by_degree.get(p, 0) + npairs
                     )
+                    for clo in range(lo, hi, _FAR_CHUNK):
+                        chi = min(clo + _FAR_CHUNK, hi)
+                        nodes = fn[clo:chi]
+                        tids = ft[clo:chi]
+                        if obs_on:
+                            REGISTRY.histogram(
+                                "far_chunk_size",
+                                "far-field pairs per vectorized batch",
+                            ).observe(chi - clo)
+                        rel = tgt[tids] - tree.center_exp[nodes]
+                        vals = m2p_rows(self.coeffs[nodes], rel, p)
+                        np.add.at(phi, tids, vals)
+                        if grad is not None:
+                            gv = m2p_grad_rows(self.coeffs[nodes], rel, p)
+                            np.add.at(grad, tids, gv)
+                        if bound is not None:
+                            r = np.sqrt(
+                                np.einsum("ij,ij->i", rel, rel)
+                            )
+                            b = theorem1_bound(
+                                tree.abs_charge[nodes], tree.radius[nodes], r, p
+                            )
+                            np.add.at(bound, tids, b)
+                            # Theorem-1 budget per tree level — the
+                            # accounting the paper's theorems sum over
+                            lsum = np.bincount(tree.level[nodes], weights=b)
+                            for L, s_ in enumerate(lsum):
+                                if s_:
+                                    stats.bound_by_level[L] = (
+                                        stats.bound_by_level.get(L, 0.0) + float(s_)
+                                    )
+                # per-level accounting (cheap bincount over all pairs)
+                lev = tree.level[fn]
+                cnt = np.bincount(lev)
+                for L, c in enumerate(cnt):
+                    if c:
+                        stats.interactions_by_level[L] = (
+                            stats.interactions_by_level.get(L, 0) + int(c)
+                        )
 
         # ---- near field: dense blocks per leaf ----
-        for leaf, tids in lists.near:
-            s, e = int(tree.start[leaf]), int(tree.end[leaf])
-            cnt = e - s
-            if cnt == 0:
-                continue
-            step = max(1, _NEAR_BUDGET // cnt)
-            src = tree.points[s:e]
-            qs = tree.charges[s:e]
-            for lo in range(0, tids.size, step):
-                blk = tids[lo : lo + step]
-                if self_targets:
-                    excl = np.where((blk >= s) & (blk < e), blk - s, -1)
-                else:
-                    excl = None
-                phi[blk] += pairwise_potential(
-                    tgt[blk], src, qs, exclude=excl, softening=self.softening
-                )
-                if grad is not None:
-                    grad[blk] += _near_gradient(
-                        tgt[blk], src, qs, excl, softening=self.softening
+        with span("treecode.near_field", blocks=len(lists.near)):
+            for leaf, tids in lists.near:
+                s, e = int(tree.start[leaf]), int(tree.end[leaf])
+                cnt = e - s
+                if cnt == 0:
+                    continue
+                step = max(1, _NEAR_BUDGET // cnt)
+                src = tree.points[s:e]
+                qs = tree.charges[s:e]
+                for lo in range(0, tids.size, step):
+                    blk = tids[lo : lo + step]
+                    if obs_on:
+                        REGISTRY.histogram(
+                            "near_block_size",
+                            "target x source products per near-field dense block",
+                        ).observe(blk.size * cnt)
+                    if self_targets:
+                        excl = np.where((blk >= s) & (blk < e), blk - s, -1)
+                    else:
+                        excl = None
+                    phi[blk] += pairwise_potential(
+                        tgt[blk], src, qs, exclude=excl, softening=self.softening
                     )
-                n_excl = int(np.count_nonzero(excl >= 0)) if excl is not None else 0
-                stats.n_pp_pairs += blk.size * cnt - n_excl
-        stats.eval_time = time.perf_counter() - t0
+                    if grad is not None:
+                        grad[blk] += _near_gradient(
+                            tgt[blk], src, qs, excl, softening=self.softening
+                        )
+                    n_excl = int(np.count_nonzero(excl >= 0)) if excl is not None else 0
+                    stats.n_pp_pairs += blk.size * cnt - n_excl
+        sw_eval.__exit__(None, None, None)
+        stats.eval_time = sw_eval.elapsed
+        if obs_on:
+            record_eval_metrics(stats)
 
         if self_targets:
             # un-sort back to the caller's original particle order
@@ -519,7 +606,8 @@ class Treecode:
         cs_net = np.concatenate([[0.0], np.cumsum(q_sorted)])
         tree.abs_charge = cs_abs[tree.end] - cs_abs[tree.start]
         tree.net_charge = cs_net[tree.end] - cs_net[tree.start]
-        self._build_expansions()
+        with span("treecode.set_charges", n=int(charges.shape[0])):
+            self._build_expansions()
 
     # convenience ------------------------------------------------------
     @property

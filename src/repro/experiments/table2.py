@@ -11,7 +11,6 @@ multi-core hosts, real wall-clock scaling.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +18,7 @@ import numpy as np
 from ..core.degree import AdaptiveChargeDegree, FixedDegree
 from ..core.treecode import Treecode
 from ..data.distributions import make_distribution, unit_charges
+from ..obs.tracing import stopwatch
 from ..parallel import MachineModel, evaluate_parallel, make_blocks, profile_blocks, simulate
 
 __all__ = ["Table2Row", "run_table2"]
@@ -85,9 +85,9 @@ def run_table2(
             ("new", AdaptiveChargeDegree(p0=p0, alpha=alpha)),
         ):
             tc = Treecode(pts, q, degree_policy=policy, alpha=alpha)
-            t0 = time.perf_counter()
-            serial = tc.evaluate()
-            serial_time = time.perf_counter() - t0
+            with stopwatch("table2.serial", problem=label, method=method) as sw:
+                serial = tc.evaluate()
+            serial_time = sw.elapsed
 
             par = evaluate_parallel(tc, n_threads=n_threads, w=w)
             matches = bool(

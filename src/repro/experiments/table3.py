@@ -13,12 +13,12 @@ convergence.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..analysis.metrics import relative_l2_error
+from ..obs.tracing import stopwatch
 from ..bem.geometries import gripper, propeller
 from ..bem.mesh import TriangleMesh
 from ..bem.operator import SingleLayerOperator
@@ -68,9 +68,9 @@ def run_table3_geometry(
     rows = []
     for p in degrees:
         op = SingleLayerOperator(mesh, n_gauss=n_gauss, degree_policy=FixedDegree(p), alpha=alpha)
-        t0 = time.perf_counter()
-        v = op.matvec(x)
-        dt = time.perf_counter() - t0
+        with stopwatch("table3.matvec", geometry=name, degree=str(p)) as sw:
+            v = op.matvec(x)
+        dt = sw.elapsed
         rows.append(
             Table3Row(
                 geometry=name,
@@ -87,9 +87,9 @@ def run_table3_geometry(
         degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha),
         alpha=alpha,
     )
-    t0 = time.perf_counter()
-    v = op.matvec(x)
-    dt = time.perf_counter() - t0
+    with stopwatch("table3.matvec", geometry=name, degree=f"{p0}*") as sw:
+        v = op.matvec(x)
+    dt = sw.elapsed
     rows.append(
         Table3Row(
             geometry=name,

@@ -18,7 +18,6 @@ shift broadcasts against all cell coefficient rows at once.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +25,8 @@ import numpy as np
 from ..multipole.expansion import l2p, p2m_terms
 from ..multipole.harmonics import ncoef, term_count
 from ..multipole.translations import l2l, m2l, m2m
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span, stopwatch
 from ..tree.morton import deinterleave3, interleave3
 
 __all__ = ["UniformFMM", "FMMStats", "level_degrees"]
@@ -177,9 +178,14 @@ class UniformFMM:
         degs = self.degrees
         p_store = max(degs[2:]) if L >= 2 else degs[-1]
         nc_store = ncoef(p_store)
-        t0 = time.perf_counter()
+        obs_on = is_enabled()
+        outer = span("fmm.evaluate", n=int(self.points.shape[0]), level=L).__enter__()
+        m2l_before = self.stats.n_m2l
+        terms_before = self.stats.n_terms_m2l
+        pp_before = self.stats.n_pp_pairs
 
         # ---- upward: P2M at leaves, then M2M ----
+        sw = stopwatch("fmm.upward", level=L).__enter__()
         centers_L = self._cell_centers(L)
         M = {L: np.zeros((8**L, nc_store), dtype=np.complex128)}
         occupied = np.nonzero(self.cell_end > self.cell_start)[0]
@@ -200,10 +206,11 @@ class UniformFMM:
                 shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
                 Ml[par] += m2m(M[l + 1][sel], shift, p_store)
             M[l] = Ml
-        self.stats.times["upward"] = time.perf_counter() - t0
+        sw.__exit__(None, None, None)
+        self.stats.times["upward"] = sw.elapsed
 
         # ---- M2L at every level (V-lists grouped by offset) ----
-        t0 = time.perf_counter()
+        sw = stopwatch("fmm.m2l").__enter__()
         Llocal = {l: np.zeros((8**l, ncoef(degs[l])), dtype=np.complex128) for l in range(2, L + 1)}
         for l in range(2, L + 1):
             p = degs[l]
@@ -248,10 +255,11 @@ class UniformFMM:
                         )
                         self.stats.n_m2l += tgt.size
                         self.stats.n_terms_m2l += tgt.size * term_count(p)
-        self.stats.times["m2l"] = time.perf_counter() - t0
+        sw.__exit__(None, None, None)
+        self.stats.times["m2l"] = sw.elapsed
 
         # ---- downward: L2L ----
-        t0 = time.perf_counter()
+        sw = stopwatch("fmm.l2l").__enter__()
         for l in range(2, L):
             p_par, p_child = degs[l], degs[l + 1]
             child_centers = self._cell_centers(l + 1)
@@ -264,10 +272,11 @@ class UniformFMM:
                 shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
                 shifted = l2l(Llocal[l][par], shift, p_par)
                 Llocal[l + 1][sel] += shifted[:, : ncoef(p_child)]
-        self.stats.times["l2l"] = time.perf_counter() - t0
+        sw.__exit__(None, None, None)
+        self.stats.times["l2l"] = sw.elapsed
 
         # ---- leaf: L2P + near field ----
-        t0 = time.perf_counter()
+        sw = stopwatch("fmm.near").__enter__()
         n = self.points.shape[0]
         phi = np.zeros(n, dtype=np.float64)
         pL = degs[L]
@@ -310,8 +319,21 @@ class UniformFMM:
                         inv[r2 == 0.0] = 0.0
                         phi[ts:te] += inv @ self.charges[ss:se]
                         self.stats.n_pp_pairs += (te - ts) * (se - ss)
-        self.stats.times["near"] = time.perf_counter() - t0
+        sw.__exit__(None, None, None)
+        self.stats.times["near"] = sw.elapsed
 
+        if obs_on:
+            REGISTRY.counter("fmm_m2l_ops", "M2L translations applied").inc(
+                self.stats.n_m2l - m2l_before
+            )
+            REGISTRY.counter(
+                "fmm_terms_m2l", "multipole terms evaluated in M2L"
+            ).inc(self.stats.n_terms_m2l - terms_before)
+            REGISTRY.counter(
+                "fmm_pp_pairs", "FMM near-field particle pairs evaluated"
+            ).inc(self.stats.n_pp_pairs - pp_before)
+
+        outer.__exit__(None, None, None)
         out = np.empty(n, dtype=np.float64)
         out[self.perm] = phi
         return out

@@ -22,16 +22,17 @@ executor is still exercised for correctness while
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.treecode import Treecode, TreecodeStats
+from ..core.treecode import Treecode, TreecodeStats, record_eval_metrics
 from ..direct import pairwise_potential
 from ..multipole.expansion import m2p_rows
 from ..multipole.harmonics import term_count
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span, stopwatch
 from .partition import make_blocks
 
 __all__ = ["ParallelResult", "evaluate_parallel", "original_points"]
@@ -141,20 +142,31 @@ def evaluate_parallel(
     stats = TreecodeStats()  # per-block n_targets accumulate to n via merge
 
     def run_block(idx_original: np.ndarray) -> TreecodeStats:
-        pos = to_sorted[idx_original]
-        vals, s = _evaluate_block(tc, pos)
-        phi_sorted[pos] = vals
+        # per-worker task timing: the span carries the recording
+        # thread's id, so the exported trace shows each worker's lane
+        with span("parallel.block", targets=int(idx_original.size)) as sp:
+            pos = to_sorted[idx_original]
+            vals, s = _evaluate_block(tc, pos)
+            phi_sorted[pos] = vals
+        if is_enabled():
+            REGISTRY.histogram(
+                "parallel_block_seconds", "wall time per worker block"
+            ).observe(sp.elapsed)
+            record_eval_metrics(s)
         return s
 
-    t0 = time.perf_counter()
-    if n_threads == 1:
-        for blk in blocks:
-            stats.merge(run_block(blk))
-    else:
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            for s in pool.map(run_block, blocks):
-                stats.merge(s)
-    wall = time.perf_counter() - t0
+    sw = stopwatch(
+        "parallel.evaluate", threads=n_threads, blocks=len(blocks), ordering=ordering
+    )
+    with sw:
+        if n_threads == 1:
+            for blk in blocks:
+                stats.merge(run_block(blk))
+        else:
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                for s in pool.map(run_block, blocks):
+                    stats.merge(s)
+    wall = sw.elapsed
 
     phi = np.empty(n, dtype=np.float64)
     phi[tree.perm] = phi_sorted

@@ -1,5 +1,7 @@
 """Tests for the command-line experiment runner."""
 
+import json
+
 import pytest
 
 import repro.cli as cli
@@ -63,3 +65,64 @@ def test_all_runs_every_command(monkeypatch, capsys):
     out = capsys.readouterr().out
     for name in cli._COMMANDS:
         assert f"out-{name}" in out
+
+
+def test_profile_requires_valid_target():
+    with pytest.raises(SystemExit):
+        cli.main(["profile"])
+    with pytest.raises(SystemExit):
+        cli.main(["profile", "not-an-experiment"])
+
+
+def test_target_rejected_without_profile():
+    with pytest.raises(SystemExit):
+        cli.main(["table1", "fig2"])
+
+
+def test_profile_runs_observed_and_exports(monkeypatch, capsys, tmp_path):
+    """profile enables observability around the experiment, prints a
+    span/counter summary, and writes trace + metrics files."""
+    from repro.obs import tracing
+
+    def fake(args):
+        assert tracing.is_enabled()
+        with tracing.span("fake.phase"):
+            pass
+        return "FAKE-OUT"
+
+    monkeypatch.setitem(cli._COMMANDS, "table1", fake)
+    trace = tmp_path / "t.json"
+    mets = tmp_path / "m.txt"
+    report = tmp_path / "r.json"
+    rc = cli.main(
+        ["profile", "table1", "--trace", str(trace), "--metrics", str(mets),
+         "--report", str(report)]
+    )
+    assert rc == 0
+    assert not tracing.is_enabled()  # restored afterwards
+    out = capsys.readouterr().out
+    assert "FAKE-OUT" in out
+    assert "profile: table1" in out
+    assert "fake.phase" in out
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["name"] == "fake.phase" for e in events)
+    assert json.loads(report.read_text())["name"] == "table1"
+    assert mets.exists()
+
+
+def test_trace_flag_on_plain_subcommand(monkeypatch, tmp_path):
+    from repro.obs import tracing
+
+    def fake(args):
+        assert tracing.is_enabled()
+        with tracing.span("plain.phase"):
+            pass
+        return "OUT"
+
+    monkeypatch.setitem(cli._COMMANDS, "fig2", fake)
+    trace = tmp_path / "t.json"
+    rc = cli.main(["fig2", "--trace", str(trace)])
+    assert rc == 0
+    assert not tracing.is_enabled()
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["name"] == "plain.phase" for e in events)

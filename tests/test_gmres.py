@@ -75,6 +75,9 @@ def test_callback_invoked(rng):
     res = gmres(lambda v: A @ v, b, callback=calls.append, tol=1e-10)
     assert len(calls) == res.n_iterations
     assert all(isinstance(c, float) for c in calls)
+    # the callback sees exactly the recorded residual trajectory
+    # (history additionally holds the initial residual at index 0)
+    assert calls == res.history[1 : 1 + len(calls)]
 
 
 def test_zero_rhs():

@@ -15,6 +15,9 @@ def test_merge_accumulates():
         n_terms=125,
         interactions_by_degree={4: 5},
         interactions_by_level={2: 5},
+        bound_by_level={2: 1.5},
+        build_time=1.0,
+        upward_time=0.5,
         traverse_time=0.1,
         eval_time=0.2,
     )
@@ -25,6 +28,9 @@ def test_merge_accumulates():
         n_terms=50,
         interactions_by_degree={4: 1, 6: 1},
         interactions_by_level={3: 2},
+        bound_by_level={2: 0.5, 3: 2.0},
+        build_time=0.25,
+        upward_time=0.25,
         traverse_time=0.05,
         eval_time=0.05,
     )
@@ -35,7 +41,19 @@ def test_merge_accumulates():
     assert a.n_terms == 175
     assert a.interactions_by_degree == {4: 6, 6: 1}
     assert a.interactions_by_level == {2: 5, 3: 2}
+    assert a.bound_by_level == {2: pytest.approx(2.0), 3: pytest.approx(2.0)}
     assert a.traverse_time == pytest.approx(0.15)
+    assert a.build_time == pytest.approx(1.25)
+    assert a.upward_time == pytest.approx(0.75)
+
+
+def test_merge_preserves_total_time():
+    """Regression: merge used to drop build/upward, under-reporting
+    total_time for merged multi-batch stats."""
+    a = TreecodeStats(build_time=1.0, upward_time=1.0, traverse_time=1.0, eval_time=1.0)
+    b = TreecodeStats(build_time=2.0, upward_time=2.0, traverse_time=2.0, eval_time=2.0)
+    a.merge(b)
+    assert a.total_time == pytest.approx(12.0)
 
 
 def test_total_time_property():
