@@ -30,6 +30,15 @@ from .core import (
     TreecodeStats,
 )
 from .direct import direct_gradient, direct_potential
+from .robust import (
+    Checkpoint,
+    FaultInjector,
+    InjectedFault,
+    NumericalCorruptionError,
+    RetryPolicy,
+    parse_fault_spec,
+    set_injector,
+)
 from .simulation import LeapfrogIntegrator, SimulationState
 from .tree import Octree, build_octree, hilbert_order
 
@@ -51,5 +60,12 @@ __all__ = [
     "Octree",
     "build_octree",
     "hilbert_order",
+    "Checkpoint",
+    "FaultInjector",
+    "InjectedFault",
+    "NumericalCorruptionError",
+    "RetryPolicy",
+    "parse_fault_spec",
+    "set_injector",
     "__version__",
 ]

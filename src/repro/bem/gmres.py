@@ -16,6 +16,7 @@ import numpy as np
 
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span
+from ..robust.faults import maybe_corrupt
 
 __all__ = ["gmres", "GMRESResult"]
 
@@ -43,6 +44,8 @@ class GMRESResult:
     n_restarts: int
     residual_norm: float
     history: list = field(default_factory=list)  #: relative residual per iteration
+    breakdown: bool = False  #: non-finite arithmetic detected; x is the last finite iterate
+    stagnated: bool = False  #: stopped early after non-improving restart cycles
 
 
 def gmres(
@@ -53,6 +56,8 @@ def gmres(
     tol: float = 1e-8,
     maxiter: int = 1000,
     callback=None,
+    stagnation_cycles: int = 3,
+    stagnation_factor: float = 0.999,
 ) -> GMRESResult:
     """Solve ``A x = b`` for a linear operator given as a callable.
 
@@ -72,6 +77,16 @@ def gmres(
         Cap on total inner iterations.
     callback:
         Optional ``callback(relative_residual)`` per inner iteration.
+    stagnation_cycles:
+        Stop early (``stagnated=True``) after this many consecutive
+        restart cycles whose true residual improved by less than a
+        factor of ``stagnation_factor``; 0 disables the check.
+    stagnation_factor:
+        Per-cycle improvement threshold for the stagnation test.
+
+    A non-finite residual or Krylov vector (operator breakdown) stops
+    the solve immediately with ``breakdown=True`` and the last finite
+    iterate, instead of poisoning every later iteration with NaN.
 
     Returns
     -------
@@ -93,19 +108,49 @@ def gmres(
     total_iters = 0
     n_restarts = 0
     obs_on = is_enabled()
+    prev_cycle_rel: float | None = None
+    stagnant_cycles = 0
+
+    def _breakdown(x_good, beta_val):
+        REGISTRY.counter(
+            "gmres_breakdowns", "GMRES solves stopped on non-finite arithmetic"
+        ).inc()
+        return GMRESResult(
+            x=x_good, converged=False, n_iterations=total_iters,
+            n_restarts=n_restarts, residual_norm=float(beta_val),
+            history=history, breakdown=True,
+        )
 
     while total_iters < maxiter:
         with span("gmres.matvec", kind="residual"):
-            r = b - matvec(x)
+            r = b - maybe_corrupt("gmres.matvec", np.asarray(matvec(x)))
         beta = np.linalg.norm(r)
         rel = beta / bnorm
         if not history:
             history.append(float(rel))
+        if not np.isfinite(beta):
+            return _breakdown(x, beta)
         if rel <= tol:
             return GMRESResult(
                 x=x, converged=True, n_iterations=total_iters,
                 n_restarts=n_restarts, residual_norm=float(beta), history=history,
             )
+        if prev_cycle_rel is not None and stagnation_cycles > 0:
+            if rel > stagnation_factor * prev_cycle_rel:
+                stagnant_cycles += 1
+            else:
+                stagnant_cycles = 0
+            if stagnant_cycles >= stagnation_cycles:
+                REGISTRY.counter(
+                    "gmres_stagnations",
+                    "GMRES solves stopped early on restart-cycle stagnation",
+                ).inc()
+                return GMRESResult(
+                    x=x, converged=False, n_iterations=total_iters,
+                    n_restarts=n_restarts, residual_norm=float(beta),
+                    history=history, stagnated=True,
+                )
+        prev_cycle_rel = float(rel)
 
         m = min(restart, maxiter - total_iters)
         with span("gmres.cycle", restart=n_restarts, start_iter=total_iters):
@@ -123,6 +168,9 @@ def gmres(
                 # and Gram-Schmidt below modifies w in place
                 with span("gmres.matvec", iteration=total_iters):
                     w = np.array(matvec(V[k]), dtype=np.float64, copy=True)
+                w = maybe_corrupt("gmres.matvec", w)
+                if not np.all(np.isfinite(w)):
+                    return _breakdown(x, beta)
                 # modified Gram-Schmidt
                 for j in range(k + 1):
                     H[j, k] = np.dot(w, V[j])

@@ -26,6 +26,8 @@ class BEMSolution:
     sigma: np.ndarray
     gmres: GMRESResult
     operator: SingleLayerOperator
+    #: recovery actions taken by the robust solve path (None = plain GMRES)
+    recovery: list | None = None
 
 
 def solve_dirichlet(
@@ -36,6 +38,7 @@ def solve_dirichlet(
     tol: float = 1e-6,
     maxiter: int = 400,
     precondition: str = "none",
+    robust: bool = False,
     **operator_kwargs,
 ) -> BEMSolution:
     """Solve ``V sigma = g`` for the surface charge density.
@@ -55,6 +58,13 @@ def solve_dirichlet(
         ``"none"`` (default, the paper's setup) solves the raw system;
         ``"jacobi"`` left-preconditions with the near-field diagonal
         estimate, useful on strongly graded meshes.
+    robust:
+        Route the solve through
+        :func:`repro.robust.solve_with_recovery`: on GMRES breakdown or
+        stagnation the restart parameter escalates and small systems
+        fall back to a dense direct solve; the actions taken are
+        recorded in :attr:`BEMSolution.recovery`.  A healthy solve is
+        unchanged.
     """
     op = operator if operator is not None else SingleLayerOperator(mesh, **operator_kwargs)
     g = np.broadcast_to(
@@ -63,13 +73,21 @@ def solve_dirichlet(
     if precondition == "jacobi":
         d = op.near_diagonal()
         dinv = 1.0 / np.where(d > 0, d, 1.0)
-        res = gmres(
-            lambda v: dinv * op.matvec(v), dinv * g, restart=restart, tol=tol, maxiter=maxiter
-        )
+        matvec_eff, g_eff = (lambda v: dinv * op.matvec(v)), dinv * g
     elif precondition == "none":
-        res = gmres(op.matvec, g, restart=restart, tol=tol, maxiter=maxiter)
+        matvec_eff, g_eff = op.matvec, g
     else:
         raise ValueError(f"unknown precondition {precondition!r}")
+    if robust:
+        from ..robust.guards import solve_with_recovery
+
+        rec = solve_with_recovery(
+            matvec_eff, g_eff, restart=restart, tol=tol, maxiter=maxiter
+        )
+        return BEMSolution(
+            sigma=rec.result.x, gmres=rec.result, operator=op, recovery=rec.actions
+        )
+    res = gmres(matvec_eff, g_eff, restart=restart, tol=tol, maxiter=maxiter)
     return BEMSolution(sigma=res.x, gmres=res, operator=op)
 
 

@@ -19,16 +19,49 @@ Observability (see :mod:`repro.obs`):
 
 The flags also work on plain subcommands, implicitly enabling
 observability for that run.
+
+Fault tolerance (see :mod:`repro.robust`):
+
+* ``--seed N`` makes every subcommand's random instances reproducible
+  end to end (fault-injection runs, checkpointed resumes);
+* ``--inject-faults SPEC`` arms the deterministic fault-injection
+  harness (e.g. ``block_error:0.5,block_nan:0.1``) to exercise the
+  retry/fallback/guard machinery;
+* ``--checkpoint FILE`` (table3, alpha-sweep, cost-ratio) persists each
+  completed step atomically; an interrupted sweep rerun with the same
+  command resumes instead of restarting.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis.tables import fmt_count, format_series, format_table
 
 __all__ = ["main"]
+
+
+def _seed0(args) -> int:
+    return 0 if args.seed is None else args.seed
+
+
+def _make_checkpoint(args, experiment: str):
+    if not args.checkpoint:
+        return None
+    from .robust import Checkpoint
+
+    return Checkpoint(
+        args.checkpoint,
+        meta={
+            "experiment": experiment,
+            "scale": args.scale,
+            "p0": args.p0,
+            "alpha": args.alpha,
+            "seed": args.seed,
+        },
+    )
 
 
 def _table1(args) -> str:
@@ -40,7 +73,9 @@ def _table1(args) -> str:
     else:
         structured = [1000, 2000, 4000, 8000]
         unstructured = [("gaussian", 4000), ("overlapping_gaussians", 6000)]
-    rows = run_table1(structured, unstructured, p0=args.p0, alpha=args.alpha)
+    rows = run_table1(
+        structured, unstructured, p0=args.p0, alpha=args.alpha, seed=args.seed
+    )
     out = [format_table(Table1Row.HEADERS, [r.as_list() for r in rows],
                         title="Table 1 — error and multipole terms, original vs improved")]
     for r in rows:
@@ -60,7 +95,7 @@ def _fig2(args) -> str:
         if args.scale == "full"
         else [500, 1000, 2000, 4000, 8000]
     )
-    data = run_fig2(sizes, p0=args.p0, alpha=args.alpha)
+    data = run_fig2(sizes, p0=args.p0, alpha=args.alpha, seed=args.seed)
     parts = ["Figure 2 — error and computational cost vs n"]
     for name, (xs, ys) in data.series().items():
         parts.append(format_series(name, xs, ys, xlabel="n", ylabel=name))
@@ -75,7 +110,9 @@ def _table2(args) -> str:
         if args.scale == "full"
         else [("uniform8k", "uniform", 8000), ("non-uniform10k", "gaussian", 10000)]
     )
-    rows = run_table2(problems, n_procs=32, p0=args.p0, alpha=args.alpha)
+    rows = run_table2(
+        problems, n_procs=32, p0=args.p0, alpha=args.alpha, seed=_seed0(args)
+    )
     return format_table(
         Table2Row.HEADERS,
         [r.as_list() for r in rows],
@@ -88,7 +125,12 @@ def _table3(args) -> str:
 
     res = (14, 7) if args.scale == "full" else (8, 4)
     rows, gmres_info = run_table3(
-        p0=args.p0, alpha=0.5, propeller_res=res[0], gripper_res=res[1]
+        p0=args.p0,
+        alpha=0.5,
+        propeller_res=res[0],
+        gripper_res=res[1],
+        seed=_seed0(args),
+        checkpoint=_make_checkpoint(args, "table3"),
     )
     out = [
         format_table(
@@ -118,35 +160,43 @@ def _cost_ratio(args) -> str:
     from .experiments import run_cost_ratio
 
     sizes = [2000, 8000, 32000] if args.scale == "full" else [1000, 4000, 8000]
-    headers, rows = run_cost_ratio(sizes, p0=args.p0, alpha=args.alpha)
+    headers, rows = run_cost_ratio(
+        sizes,
+        p0=args.p0,
+        alpha=args.alpha,
+        seed=_seed0(args),
+        checkpoint=_make_checkpoint(args, "cost-ratio"),
+    )
     return format_table(headers, rows, title="E6 — Theorem 5 cost-ratio check")
 
 
 def _alpha(args) -> str:
     from .experiments import run_alpha_sweep
 
-    headers, rows = run_alpha_sweep(p0=args.p0)
+    headers, rows = run_alpha_sweep(
+        p0=args.p0, seed=_seed0(args), checkpoint=_make_checkpoint(args, "alpha-sweep")
+    )
     return format_table(headers, rows, title="A1 — MAC parameter sweep")
 
 
 def _leaf(args) -> str:
     from .experiments import run_leaf_sweep
 
-    headers, rows = run_leaf_sweep(p0=args.p0, alpha=args.alpha)
+    headers, rows = run_leaf_sweep(p0=args.p0, alpha=args.alpha, seed=_seed0(args))
     return format_table(headers, rows, title="A2 — leaf-capacity sweep")
 
 
 def _ordering(args) -> str:
     from .experiments import run_ordering_study
 
-    headers, rows = run_ordering_study(alpha=args.alpha)
+    headers, rows = run_ordering_study(alpha=args.alpha, seed=_seed0(args))
     return format_table(headers, rows, title="A3 — block-ordering study")
 
 
 def _fmm(args) -> str:
     from .experiments import run_fmm_extension
 
-    headers, rows = run_fmm_extension(p0=args.p0)
+    headers, rows = run_fmm_extension(p0=args.p0, seed=_seed0(args))
     return format_table(headers, rows, title="A4 — FMM degree-schedule extension")
 
 
@@ -211,6 +261,23 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _interrupted(args) -> int:
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        print(
+            f"\ninterrupted — completed steps saved to {args.checkpoint}; "
+            "rerun the same command to resume",
+            file=sys.stderr,
+        )
+    elif args.checkpoint:
+        print(
+            "\ninterrupted — no step completed yet, nothing checkpointed",
+            file=sys.stderr,
+        )
+    else:
+        print("\ninterrupted", file=sys.stderr)
+    return 130
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -236,6 +303,28 @@ def main(argv=None) -> int:
     parser.add_argument("--p0", type=int, default=4, help="base multipole degree")
     parser.add_argument("--alpha", type=float, default=0.4, help="MAC parameter")
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed for every random instance (default: per-instance "
+        "historical seeds); makes fault-injection runs and checkpointed "
+        "resumes reproducible end to end",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="arm the fault-injection harness, e.g. "
+        "'block_error:0.5,block_nan:0.1' (see repro.robust.faults)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="atomic JSON checkpoint for resumable sweeps "
+        "(table3, alpha-sweep, cost-ratio): rerun the same command to resume",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help="write a Chrome-trace JSON of the run (view in Perfetto)",
@@ -252,13 +341,42 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.inject_faults is not None:
+        from .robust import FaultInjector, parse_fault_spec, set_injector
+        from .robust.faults import active_injector
+
+        try:
+            rules = parse_fault_spec(args.inject_faults)
+        except ValueError as exc:
+            parser.error(str(exc))
+        previous = active_injector()
+        set_injector(FaultInjector(rules, seed=_seed0(args)))
+        try:
+            return _dispatch(parser, args)
+        finally:
+            set_injector(previous)
+    return _dispatch(parser, args)
+
+
+def _dispatch(parser, args) -> int:
+    checkpointable = {"table3", "alpha-sweep", "cost-ratio"}
+    if args.checkpoint and args.experiment not in checkpointable and (
+        args.experiment != "profile" or args.target not in checkpointable
+    ):
+        parser.error(
+            "--checkpoint is supported for: " + ", ".join(sorted(checkpointable))
+        )
+
     if args.experiment == "profile":
         if args.target not in _COMMANDS:
             parser.error(
                 "profile requires one experiment to run: "
                 + ", ".join(sorted(_COMMANDS))
             )
-        return _run_profile(args)
+        try:
+            return _run_profile(args)
+        except KeyboardInterrupt:
+            return _interrupted(args)
     if args.target is not None:
         parser.error("TARGET is only valid with the 'profile' subcommand")
 
@@ -276,6 +394,8 @@ def main(argv=None) -> int:
         for name in names:
             print(_COMMANDS[name](args))
             print()
+    except KeyboardInterrupt:
+        return _interrupted(args)
     finally:
         if observe:
             tracing.set_enabled(was_enabled)

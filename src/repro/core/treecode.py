@@ -46,6 +46,8 @@ from ..multipole.harmonics import ncoef, term_count
 from ..multipole.translations import m2m
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
+from ..robust.faults import maybe_corrupt
+from ..robust.guards import check_bound_accounting, check_finite
 from ..tree.octree import Octree, build_octree
 from .bounds import theorem1_bound
 from .degree import AdaptiveChargeDegree, DegreePolicy, FixedDegree
@@ -240,6 +242,8 @@ class Treecode:
             else AdaptiveChargeDegree(p0=4, alpha=alpha)
         )
         self.upward = upward
+        check_finite("treecode.points", np.asarray(points), context="input positions")
+        check_finite("treecode.charges", np.asarray(charges), context="input charges")
 
         with stopwatch("treecode.build", n=int(points.shape[0])) as sw_build:
             self.tree: Octree = build_octree(
@@ -315,6 +319,10 @@ class Treecode:
                     shifts = tree.center_exp[sel] - tree.center_exp[par]
                     contrib = m2m(coeffs[sel, : ncoef(int(p))], shifts, int(p))
                     np.add.at(coeffs[:, : ncoef(int(p))], par, contrib)
+        # fault-injection site + NaN/Inf guard: corrupted expansions
+        # must fail loudly here, not as poisoned far-field potentials
+        coeffs = maybe_corrupt("treecode.coeffs", coeffs)
+        check_finite("treecode.coeffs", coeffs, context="multipole coefficients")
         self.coeffs = coeffs
 
     def _p2m_nodes(self, node_ids: np.ndarray, p_store: np.ndarray, coeffs: np.ndarray) -> None:
@@ -581,6 +589,11 @@ class Treecode:
                 ob[inv] = bound
                 bound = ob
 
+        check_finite("treecode.potential", phi, context="evaluated potential")
+        if bound is not None:
+            check_bound_accounting(
+                "treecode.bounds", bound, stats.bound_by_level
+            )
         return TreecodeResult(potential=phi, gradient=grad, error_bound=bound, stats=stats)
 
     def set_charges(self, charges: np.ndarray) -> None:

@@ -28,6 +28,7 @@ from ..data.distributions import make_distribution, unit_charges
 from ..direct import direct_potential
 from ..fmm import UniformFMM, level_degrees
 from ..parallel import MachineModel, make_blocks, profile_blocks, simulate
+from ..robust.checkpoint import Checkpoint, cached_step
 
 __all__ = [
     "run_cost_ratio",
@@ -38,52 +39,74 @@ __all__ = [
 ]
 
 
-def run_cost_ratio(sizes=None, p0: int = 4, alpha: float = 0.4):
+def run_cost_ratio(
+    sizes=None,
+    p0: int = 4,
+    alpha: float = 0.4,
+    seed: int = 0,
+    checkpoint: Checkpoint | None = None,
+):
     """E6: measured vs predicted (Theorem 5) term-count ratio."""
     sizes = [1000, 4000, 16000] if sizes is None else sizes
     rows = []
     for n in sizes:
-        pts = make_distribution("uniform", n, seed=n)
-        q = unit_charges(n, seed=n + 1, signed=True)
-        terms = {}
-        height = None
-        for name, policy in (
-            ("orig", FixedDegree(p0)),
-            ("new", AdaptiveChargeDegree(p0=p0, alpha=alpha)),
-        ):
-            tc = Treecode(pts, q, degree_policy=policy, alpha=alpha)
-            terms[name] = tc.evaluate().stats.n_terms
-            height = tc.height
-        measured = terms["new"] / terms["orig"]
-        predicted = theorem5_cost_ratio(p0, alpha, height)
-        rows.append([n, height, terms["orig"], terms["new"], measured, predicted])
+
+        def compute(n=n) -> list:
+            pts = make_distribution("uniform", n, seed=seed + n)
+            q = unit_charges(n, seed=seed + n + 1, signed=True)
+            terms = {}
+            height = None
+            for name, policy in (
+                ("orig", FixedDegree(p0)),
+                ("new", AdaptiveChargeDegree(p0=p0, alpha=alpha)),
+            ):
+                tc = Treecode(pts, q, degree_policy=policy, alpha=alpha)
+                terms[name] = tc.evaluate().stats.n_terms
+                height = tc.height
+            measured = terms["new"] / terms["orig"]
+            predicted = theorem5_cost_ratio(p0, alpha, height)
+            return [n, height, terms["orig"], terms["new"], measured, predicted]
+
+        rows.append(cached_step(checkpoint, f"n:{n}", compute))
     headers = ["n", "height", "terms(orig)", "terms(new)", "ratio(measured)", "ratio(Thm5)"]
     return headers, rows
 
 
-def run_alpha_sweep(alphas=None, n: int = 6000, p0: int = 4):
+def run_alpha_sweep(
+    alphas=None,
+    n: int = 6000,
+    p0: int = 4,
+    seed: int = 0,
+    checkpoint: Checkpoint | None = None,
+):
     """A1: error/terms vs MAC parameter for both methods."""
     alphas = [0.3, 0.4, 0.5, 0.6, 0.7] if alphas is None else alphas
-    pts = make_distribution("uniform", n, seed=1)
-    q = unit_charges(n, seed=2, signed=True)
+    pts = make_distribution("uniform", n, seed=seed + 1)
+    q = unit_charges(n, seed=seed + 2, signed=True)
     ref = direct_potential(pts, q)
     rows = []
     for a in alphas:
-        row = [a]
-        for policy in (FixedDegree(p0), AdaptiveChargeDegree(p0=p0, alpha=a)):
-            tc = Treecode(pts, q, degree_policy=policy, alpha=a)
-            res = tc.evaluate()
-            row += [relative_l2_error(res.potential, ref), res.stats.n_terms]
-        rows.append(row)
+
+        def compute(a=a) -> list:
+            row = [a]
+            for policy in (FixedDegree(p0), AdaptiveChargeDegree(p0=p0, alpha=a)):
+                tc = Treecode(pts, q, degree_policy=policy, alpha=a)
+                res = tc.evaluate()
+                row += [relative_l2_error(res.potential, ref), res.stats.n_terms]
+            return row
+
+        rows.append(cached_step(checkpoint, f"alpha:{a}", compute))
     headers = ["alpha", "err(orig)", "terms(orig)", "err(new)", "terms(new)"]
     return headers, rows
 
 
-def run_leaf_sweep(leaf_sizes=None, n: int = 6000, p0: int = 4, alpha: float = 0.4):
+def run_leaf_sweep(
+    leaf_sizes=None, n: int = 6000, p0: int = 4, alpha: float = 0.4, seed: int = 0
+):
     """A2: far/near cost split vs leaf capacity."""
     leaf_sizes = [4, 8, 16, 32, 64] if leaf_sizes is None else leaf_sizes
-    pts = make_distribution("uniform", n, seed=1)
-    q = unit_charges(n, seed=2, signed=True)
+    pts = make_distribution("uniform", n, seed=seed + 1)
+    q = unit_charges(n, seed=seed + 2, signed=True)
     rows = []
     for m in leaf_sizes:
         tc = Treecode(pts, q, degree_policy=FixedDegree(p0), alpha=alpha, leaf_size=m)
@@ -95,7 +118,9 @@ def run_leaf_sweep(leaf_sizes=None, n: int = 6000, p0: int = 4, alpha: float = 0
     return headers, rows
 
 
-def run_ordering_study(n: int = 8000, w: int = 64, n_procs: int = 32, alpha: float = 0.4):
+def run_ordering_study(
+    n: int = 8000, w: int = 64, n_procs: int = 32, alpha: float = 0.4, seed: int = 0
+):
     """A3: locality of w-blocks under different orderings.
 
     The paper sorts particles into Peano-Hilbert order before
@@ -106,8 +131,8 @@ def run_ordering_study(n: int = 8000, w: int = 64, n_procs: int = 32, alpha: flo
     volume, the per-processor unique data volume under a contiguous
     static assignment, and the modeled speedup.
     """
-    pts = make_distribution("uniform", n, seed=1)
-    q = unit_charges(n, seed=2, signed=True)
+    pts = make_distribution("uniform", n, seed=seed + 1)
+    q = unit_charges(n, seed=seed + 2, signed=True)
     tc = Treecode(pts, q, degree_policy=FixedDegree(4), alpha=alpha)
     rows = []
     for ordering in ("hilbert", "morton", "input", "random"):
@@ -134,10 +159,10 @@ def run_ordering_study(n: int = 8000, w: int = 64, n_procs: int = 32, alpha: flo
     return headers, rows
 
 
-def run_fmm_extension(n: int = 4000, level: int = 3, p0: int = 4):
+def run_fmm_extension(n: int = 4000, level: int = 3, p0: int = 4, seed: int = 0):
     """A4: fixed-degree FMM vs Theorem-3 per-level schedule."""
-    pts = make_distribution("uniform", n, seed=1)
-    q = unit_charges(n, seed=2, signed=True)
+    pts = make_distribution("uniform", n, seed=seed + 1)
+    q = unit_charges(n, seed=seed + 2, signed=True)
     ref = direct_potential(pts, q)
     rows = []
     for name, degs in (

@@ -43,11 +43,15 @@ def run_fig2(
     distribution: str = "uniform",
     p0: int = 4,
     alpha: float = 0.4,
+    seed: int | None = None,
 ) -> Fig2Data:
     sizes = [1000, 2000, 4000, 8000, 16000] if sizes is None else sizes
     data = Fig2Data()
     for n in sizes:
-        row = run_case(distribution, n, p0=p0, alpha=alpha)
+        row = run_case(
+            distribution, n, p0=p0, alpha=alpha,
+            seed=None if seed is None else seed + n,
+        )
         data.n.append(n)
         data.err_orig.append(row.err_orig)
         data.err_new.append(row.err_new)

@@ -108,10 +108,26 @@ def run_table1(
     unstructured: list[tuple[str, int]] | None = None,
     p0: int = 4,
     alpha: float = 0.4,
+    seed: int | None = None,
 ) -> list[Table1Row]:
-    """Full Table 1: structured (uniform) rows then unstructured rows."""
+    """Full Table 1: structured (uniform) rows then unstructured rows.
+
+    ``seed`` offsets every per-instance seed (default: the instance size
+    ``n``, the historical convention), keeping rows distinct but the
+    whole table reproducible end to end from one ``--seed``.
+    """
     structured_n = DEFAULT_STRUCTURED_N if structured_n is None else structured_n
     unstructured = DEFAULT_UNSTRUCTURED if unstructured is None else unstructured
-    rows = [run_case("uniform", n, p0=p0, alpha=alpha) for n in structured_n]
-    rows += [run_case(dist, n, p0=p0, alpha=alpha) for dist, n in unstructured]
+
+    def inst_seed(n: int) -> int | None:
+        return None if seed is None else seed + n
+
+    rows = [
+        run_case("uniform", n, p0=p0, alpha=alpha, seed=inst_seed(n))
+        for n in structured_n
+    ]
+    rows += [
+        run_case(dist, n, p0=p0, alpha=alpha, seed=inst_seed(n))
+        for dist, n in unstructured
+    ]
     return rows

@@ -66,6 +66,7 @@ def run_table2(
     p0: int = 4,
     alpha: float = 0.4,
     n_threads: int = 2,
+    seed: int = 0,
 ) -> list[Table2Row]:
     """Run both methods on each problem; default instances mirror the
     paper's uniform40k / non-uniform46k (scaled by the caller)."""
@@ -77,8 +78,8 @@ def run_table2(
     rows = []
     model = MachineModel(n_procs=n_procs)
     for label, dist, n in problems:
-        pts = make_distribution(dist, n, seed=n)
-        q = unit_charges(n, seed=n + 1, signed=True)
+        pts = make_distribution(dist, n, seed=seed + n)
+        q = unit_charges(n, seed=seed + n + 1, signed=True)
         blocks = make_blocks(pts, w)
         for method, policy in (
             ("original", FixedDegree(p0)),

@@ -13,7 +13,7 @@ convergence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..bem.mesh import TriangleMesh
 from ..bem.operator import SingleLayerOperator
 from ..bem.solver import solve_dirichlet
 from ..core.degree import AdaptiveChargeDegree, FixedDegree
+from ..robust.checkpoint import Checkpoint, cached_step
 
 __all__ = ["Table3Row", "run_table3", "run_table3_geometry"]
 
@@ -109,11 +110,18 @@ def run_table3(
     n_gauss: int = 6,
     propeller_res: int = 10,
     gripper_res: int = 5,
+    seed: int = 0,
+    checkpoint: Checkpoint | None = None,
 ) -> tuple[list[Table3Row], dict]:
     """Both geometry blocks plus a GMRES(10) convergence demonstration.
 
     Returns the rows and a dict with per-geometry GMRES iteration counts
-    of the improved method.
+    of the improved method.  With a :class:`~repro.robust.Checkpoint`,
+    each completed geometry block is persisted atomically and an
+    interrupted sweep resumes instead of restarting — resumed rows are
+    byte-identical to what the interrupted run produced.  The GMRES
+    demonstration runs through the robust solve path (restart
+    escalation + dense fallback on stagnation).
     """
     meshes = {
         "propeller": propeller(blade_res=propeller_res, hub_res=propeller_res),
@@ -122,20 +130,33 @@ def run_table3(
     rows: list[Table3Row] = []
     gmres_info = {}
     for name, mesh in meshes.items():
-        rows += run_table3_geometry(name, mesh, p0=p0, alpha=alpha, n_gauss=n_gauss)
-        sol = solve_dirichlet(
-            mesh,
-            1.0,
-            n_gauss=n_gauss,
-            degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha),
-            alpha=alpha,
-            restart=10,
-            tol=1e-6,
-        )
-        gmres_info[name] = {
-            "converged": sol.gmres.converged,
-            "iterations": sol.gmres.n_iterations,
-            "nodes": mesh.n_vertices,
-            "elements": mesh.n_triangles,
-        }
+
+        def compute(name=name, mesh=mesh) -> dict:
+            geo_rows = run_table3_geometry(
+                name, mesh, p0=p0, alpha=alpha, n_gauss=n_gauss, seed=seed
+            )
+            sol = solve_dirichlet(
+                mesh,
+                1.0,
+                n_gauss=n_gauss,
+                degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha),
+                alpha=alpha,
+                restart=10,
+                tol=1e-6,
+                robust=True,
+            )
+            return {
+                "rows": [asdict(r) for r in geo_rows],
+                "gmres": {
+                    "converged": sol.gmres.converged,
+                    "iterations": sol.gmres.n_iterations,
+                    "nodes": mesh.n_vertices,
+                    "elements": mesh.n_triangles,
+                    "recovery": list(sol.recovery or []),
+                },
+            }
+
+        payload = cached_step(checkpoint, f"geometry:{name}", compute)
+        rows += [Table3Row(**d) for d in payload["rows"]]
+        gmres_info[name] = payload["gmres"]
     return rows, gmres_info

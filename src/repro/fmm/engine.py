@@ -27,6 +27,8 @@ from ..multipole.harmonics import ncoef, term_count
 from ..multipole.translations import l2l, m2l, m2m
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
+from ..robust.faults import maybe_corrupt
+from ..robust.guards import check_finite
 from ..tree.morton import deinterleave3, interleave3
 
 __all__ = ["UniformFMM", "FMMStats", "level_degrees"]
@@ -336,4 +338,8 @@ class UniformFMM:
         outer.__exit__(None, None, None)
         out = np.empty(n, dtype=np.float64)
         out[self.perm] = phi
+        # fault-injection site + guard: a corrupted FMM potential must
+        # fail loudly at the engine boundary, never reach an experiment
+        out = maybe_corrupt("fmm.potential", out)
+        check_finite("fmm.potential", out, context="FMM output potential")
         return out

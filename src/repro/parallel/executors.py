@@ -18,12 +18,23 @@ Note on this host: heavy NumPy kernels release the GIL, so threads give
 genuine concurrency on multi-core machines; on a single-core host the
 executor is still exercised for correctness while
 :mod:`repro.parallel.machine` provides the scaling numbers.
+
+Fault tolerance (see :mod:`repro.robust`): each w-block runs under a
+:class:`~repro.robust.RetryPolicy` — failed or deadline-exceeded
+attempts are retried with decorrelated-jitter backoff, a block that
+keeps failing degrades gracefully to a serial re-evaluation with fault
+injection suppressed, and as a last resort to exact direct summation
+over all sources.  Block outputs and the assembled potential are
+NaN/Inf-guarded so corrupted numbers fail loudly instead of reaching
+the caller.  All recovery actions increment registry counters
+(``block_retries``, ``block_fallbacks``, ``guard_trips``).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from threading import Lock
 
 import numpy as np
 
@@ -33,9 +44,21 @@ from ..multipole.expansion import m2p_rows
 from ..multipole.harmonics import term_count
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
+from ..robust.faults import maybe_corrupt, maybe_fault, suppress_faults
+from ..robust.guards import check_finite
+from ..robust.retry import RetryExhausted, RetryPolicy, retry_call
 from .partition import make_blocks
 
-__all__ = ["ParallelResult", "evaluate_parallel", "original_points"]
+__all__ = [
+    "ParallelResult",
+    "BlockEvaluationError",
+    "evaluate_parallel",
+    "original_points",
+]
+
+
+class BlockEvaluationError(RuntimeError):
+    """A w-block failed its retries and every fallback."""
 
 
 @dataclass
@@ -47,6 +70,8 @@ class ParallelResult:
     n_threads: int
     n_blocks: int
     stats: TreecodeStats
+    n_retries: int = 0  #: block attempts retried after a failure
+    n_fallbacks: int = 0  #: blocks recovered via serial/direct fallback
 
 
 def original_points(tc: Treecode) -> np.ndarray:
@@ -104,11 +129,65 @@ def _evaluate_block(tc: Treecode, sorted_positions: np.ndarray):
     return phi, stats
 
 
+def _direct_block(tc: Treecode, sorted_positions: np.ndarray):
+    """Last-resort fallback: exact direct summation for one block.
+
+    Evaluates the block's targets against *all* sources with
+    self-exclusion — no multipole machinery at all, so it survives
+    corrupted expansion coefficients.  The cost accounting charges the
+    full ``|block| * (n - 1)`` particle pairs, keeping the merged
+    :class:`TreecodeStats` consistent with the work actually done.
+    """
+    tree = tc.tree
+    sub = np.asarray(sorted_positions, dtype=np.int64)
+    phi = pairwise_potential(
+        tree.points[sub],
+        tree.points,
+        tree.charges,
+        exclude=sub,
+        softening=tc.softening,
+    )
+    stats = TreecodeStats(n_targets=sub.size)
+    stats.n_pp_pairs = sub.size * (tree.n_particles - 1)
+    return phi, stats
+
+
+def _recover_block(tc: Treecode, pos: np.ndarray, exc: Exception):
+    """Graceful degradation for a persistently failing block.
+
+    First re-evaluates the block serially on the coordinating path with
+    fault injection suppressed — the same arithmetic as a healthy
+    worker, so the recovered result is identical; if even that fails
+    (e.g. corrupted coefficients), falls back to exact direct summation.
+    """
+    with suppress_faults():
+        try:
+            with span("robust.fallback", kind="serial", targets=int(pos.size)):
+                vals, s = _evaluate_block(tc, pos)
+            check_finite("parallel.fallback", vals, context="serial re-evaluation")
+            REGISTRY.counter(
+                "block_fallbacks", "blocks recovered via graceful degradation"
+            ).inc()
+            return vals, s
+        except Exception:
+            with span("robust.fallback", kind="direct", targets=int(pos.size)):
+                vals, s = _direct_block(tc, pos)
+            check_finite("parallel.fallback", vals, context="direct summation")
+            REGISTRY.counter(
+                "block_fallbacks", "blocks recovered via graceful degradation"
+            ).inc()
+            REGISTRY.counter(
+                "block_fallbacks_direct", "blocks recovered via direct summation"
+            ).inc()
+            return vals, s
+
+
 def evaluate_parallel(
     tc: Treecode,
     n_threads: int = 4,
     w: int = 64,
     ordering: str = "hilbert",
+    retry: RetryPolicy | None = None,
 ) -> ParallelResult:
     """Evaluate the potential at the treecode's own particles in parallel.
 
@@ -124,6 +203,12 @@ def evaluate_parallel(
         task).
     ordering:
         Block ordering; see :func:`repro.parallel.partition.make_blocks`.
+    retry:
+        Per-block :class:`~repro.robust.RetryPolicy` (deadline, retry
+        count, backoff).  The default policy retries three times with
+        millisecond-scale jittered backoff and no deadline; a block that
+        exhausts its retries degrades to a serial (then direct-sum)
+        fallback instead of failing the whole evaluation.
 
     Returns
     -------
@@ -132,6 +217,7 @@ def evaluate_parallel(
     """
     if n_threads < 1:
         raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    policy = RetryPolicy() if retry is None else retry
     tree = tc.tree
     n = tree.n_particles
     to_sorted = np.empty(n, dtype=np.int64)
@@ -140,14 +226,43 @@ def evaluate_parallel(
 
     phi_sorted = np.zeros(n, dtype=np.float64)
     stats = TreecodeStats()  # per-block n_targets accumulate to n via merge
+    recovery = {"retries": 0, "fallbacks": 0}
+    recovery_lock = Lock()
+
+    def attempt_block(pos: np.ndarray):
+        maybe_fault("parallel.block")  # injected error/hang sites
+        vals, s = _evaluate_block(tc, pos)
+        vals = maybe_corrupt("parallel.block", vals)
+        check_finite("parallel.block", vals, context="worker block output")
+        return vals, s
 
     def run_block(idx_original: np.ndarray) -> TreecodeStats:
         # per-worker task timing: the span carries the recording
         # thread's id, so the exported trace shows each worker's lane
         with span("parallel.block", targets=int(idx_original.size)) as sp:
             pos = to_sorted[idx_original]
-            vals, s = _evaluate_block(tc, pos)
+            fellback = False
+            try:
+                (vals, s), attempts = retry_call(
+                    lambda: attempt_block(pos),
+                    policy,
+                    site="parallel.block",
+                    seed=int(pos[0]) if pos.size else 0,
+                )
+            except RetryExhausted as exc:
+                attempts = policy.max_retries + 1
+                fellback = True
+                try:
+                    vals, s = _recover_block(tc, pos, exc)
+                except Exception as final:
+                    raise BlockEvaluationError(
+                        f"block of {pos.size} targets failed {attempts} attempts "
+                        f"and all fallbacks: {final}"
+                    ) from exc
             phi_sorted[pos] = vals
+            with recovery_lock:
+                recovery["retries"] += attempts - 1
+                recovery["fallbacks"] += int(fellback)
         if is_enabled():
             REGISTRY.histogram(
                 "parallel_block_seconds", "wall time per worker block"
@@ -170,10 +285,13 @@ def evaluate_parallel(
 
     phi = np.empty(n, dtype=np.float64)
     phi[tree.perm] = phi_sorted
+    check_finite("parallel.potential", phi, context="assembled parallel potential")
     return ParallelResult(
         potential=phi,
         wall_time=wall,
         n_threads=n_threads,
         n_blocks=len(blocks),
         stats=stats,
+        n_retries=recovery["retries"],
+        n_fallbacks=recovery["fallbacks"],
     )

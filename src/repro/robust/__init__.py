@@ -1,0 +1,68 @@
+"""Fault-tolerant execution layer.
+
+Four cooperating pieces, wired through the parallel executor, GMRES,
+the FMM engine and the experiment drivers:
+
+* :mod:`~repro.robust.faults` — deterministic, seeded fault injection
+  (worker-block errors/hangs, NaN corruption) from a spec string, the
+  ``--inject-faults`` CLI flag, or ``REPRO_INJECT_FAULTS``;
+* :mod:`~repro.robust.retry` — bounded retry with decorrelated-jitter
+  backoff and per-attempt deadlines for parallel worker blocks;
+* :mod:`~repro.robust.guards` — NaN/Inf guards at the treecode/FMM
+  boundaries, the Theorem-1 bound-accounting sanity check, and GMRES
+  breakdown/stagnation recovery (restart escalation, dense fallback);
+* :mod:`~repro.robust.checkpoint` — atomic JSON checkpoint/resume for
+  long experiment sweeps.
+
+Every recovery action (retry, fallback, guard trip, resume) increments
+a metrics counter and opens a span, so ``python -m repro profile``
+shows exactly what a run absorbed.  See DESIGN.md §8 for the failure
+model and per-failure recovery policy.
+"""
+
+from .checkpoint import Checkpoint, CheckpointMismatch, cached_step
+from .faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    active_injector,
+    maybe_corrupt,
+    maybe_fault,
+    parse_fault_spec,
+    set_injector,
+    suppress_faults,
+)
+from .guards import (
+    BoundAccountingError,
+    NumericalCorruptionError,
+    RobustSolveResult,
+    check_bound_accounting,
+    check_finite,
+    solve_with_recovery,
+)
+from .retry import AttemptTimeout, RetryExhausted, RetryPolicy, retry_call
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "parse_fault_spec",
+    "active_injector",
+    "set_injector",
+    "maybe_fault",
+    "maybe_corrupt",
+    "suppress_faults",
+    "RetryPolicy",
+    "RetryExhausted",
+    "AttemptTimeout",
+    "retry_call",
+    "NumericalCorruptionError",
+    "BoundAccountingError",
+    "check_finite",
+    "check_bound_accounting",
+    "solve_with_recovery",
+    "RobustSolveResult",
+    "Checkpoint",
+    "CheckpointMismatch",
+    "cached_step",
+]

@@ -1,0 +1,127 @@
+"""Retry with per-attempt deadlines and decorrelated-jitter backoff.
+
+The policy follows the standard exponential-backoff-with-decorrelated-
+jitter recipe (sleep ~ U(base, 3·previous), capped), which avoids the
+synchronized retry storms of plain exponential backoff when many worker
+blocks fail at once.  Deadlines are enforced by running the attempt in a
+daemon thread and abandoning it on timeout — a hung NumPy kernel cannot
+be interrupted from Python, so the only safe recovery is to stop
+waiting, count the timeout, and retry (the abandoned thread exits with
+the process).
+
+Every performed retry increments the ``block_retries`` counter and opens
+a ``robust.retry`` span, so recovery behavior is visible in
+``python -m repro profile`` output and exported traces.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import span
+
+__all__ = ["RetryPolicy", "RetryExhausted", "AttemptTimeout", "retry_call"]
+
+
+class AttemptTimeout(RuntimeError):
+    """An attempt exceeded its per-attempt deadline."""
+
+    def __init__(self, site: str, deadline: float, attempt: int):
+        super().__init__(
+            f"{site}: attempt {attempt} exceeded the {deadline:g}s deadline"
+        )
+        self.site = site
+        self.deadline = deadline
+        self.attempt = attempt
+
+
+class RetryExhausted(RuntimeError):
+    """All attempts (initial + retries) failed; chains the last error."""
+
+    def __init__(self, site: str, attempts: int, last: BaseException):
+        super().__init__(
+            f"{site}: all {attempts} attempts failed "
+            f"(last: {type(last).__name__}: {last})"
+        )
+        self.site = site
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with decorrelated jitter and optional deadlines."""
+
+    max_retries: int = 3  #: retries after the first attempt
+    base_delay: float = 0.002  #: backoff floor (seconds)
+    max_delay: float = 0.25  #: backoff cap (seconds)
+    deadline: float | None = None  #: per-attempt timeout; None = unbounded
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}, {self.max_delay}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+
+
+def _call_with_deadline(fn, deadline: float | None, site: str, attempt: int):
+    if deadline is None:
+        return fn()
+    box: list = []
+
+    def target():
+        try:
+            box.append(("ok", fn()))
+        except BaseException as exc:  # noqa: BLE001 — re-raised in caller
+            box.append(("err", exc))
+
+    t = threading.Thread(target=target, daemon=True, name=f"attempt-{site}")
+    t.start()
+    t.join(deadline)
+    if not box:
+        REGISTRY.counter(
+            "block_timeouts", "worker-block attempts abandoned at the deadline"
+        ).inc()
+        raise AttemptTimeout(site, deadline, attempt)
+    status, payload = box[0]
+    if status == "err":
+        raise payload
+    return payload
+
+
+def retry_call(fn, policy: RetryPolicy, site: str, seed: int = 0):
+    """Call ``fn()`` under ``policy``; returns ``(value, attempts_used)``.
+
+    Retries on any :class:`Exception` (not ``KeyboardInterrupt``);
+    raises :class:`RetryExhausted` chaining the last failure once
+    ``max_retries`` retries are spent.
+    """
+    jitter = random.Random(seed)
+    delay = policy.base_delay
+    last: Exception | None = None
+    for attempt in range(1, policy.max_retries + 2):
+        try:
+            return _call_with_deadline(fn, policy.deadline, site, attempt), attempt
+        except Exception as exc:
+            last = exc
+            if attempt > policy.max_retries:
+                break
+            REGISTRY.counter(
+                "block_retries", "worker-block attempts retried after a failure"
+            ).inc()
+            delay = min(policy.max_delay, jitter.uniform(policy.base_delay, delay * 3))
+            with span(
+                "robust.retry", site=site, attempt=attempt, error=type(exc).__name__
+            ):
+                if delay > 0:
+                    time.sleep(delay)
+    raise RetryExhausted(site, policy.max_retries + 1, last) from last

@@ -126,3 +126,43 @@ def test_trace_flag_on_plain_subcommand(monkeypatch, tmp_path):
     assert not tracing.is_enabled()
     events = json.loads(trace.read_text())["traceEvents"]
     assert any(e["name"] == "plain.phase" for e in events)
+
+
+def test_bad_fault_spec_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["table1", "--inject-faults", "nosuchmode:0.5"])
+
+
+def test_checkpoint_limited_to_resumable_commands():
+    with pytest.raises(SystemExit):
+        cli.main(["table1", "--checkpoint", "/tmp/nope.json"])
+
+
+def test_inject_faults_scoped_to_the_run(monkeypatch):
+    from repro.robust import faults
+
+    seen = []
+
+    def fake(args):
+        inj = faults.active_injector()
+        seen.append({r.mode for r in inj.rules} if inj else None)
+        return "OUT"
+
+    monkeypatch.setitem(cli._COMMANDS, "fig2", fake)
+    prev = faults.active_injector()
+    rc = cli.main(["fig2", "--inject-faults", "block_error:0.1"])
+    assert rc == 0
+    assert seen == [{"block_error"}]
+    assert faults.active_injector() is prev  # restored after the run
+
+
+def test_seed_flag_reaches_command(monkeypatch):
+    seen = {}
+
+    def fake(args):
+        seen["seed"] = args.seed
+        return "OUT"
+
+    monkeypatch.setitem(cli._COMMANDS, "fig2", fake)
+    assert cli.main(["fig2", "--seed", "42"]) == 0
+    assert seen["seed"] == 42
