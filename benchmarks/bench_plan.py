@@ -1,0 +1,198 @@
+"""Benchmark the compiled-plan matvec path against the un-planned path.
+
+Writes machine-readable results to ``BENCH_3.json`` at the repo root:
+treecode matvec latency at n in {2k, 10k, 50k} (compile time, plan
+memory, speedup, max abs difference) plus a BEM block at ~10k panels
+where the second and later applications must be >= 3x faster than the
+un-planned ``set_charges`` + ``evaluate_lists`` path.
+
+Run standalone (pytest-free so CI can gate on the exit code)::
+
+    PYTHONPATH=src python benchmarks/bench_plan.py           # full, writes BENCH_3.json
+    PYTHONPATH=src python benchmarks/bench_plan.py --smoke   # small CI smoke check
+
+``--smoke`` compiles a small plan (n=5000), runs 5 matvecs through both
+paths, and exits non-zero unless the compiled path is no slower than the
+fallback and agrees to 1e-12.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import AdaptiveChargeDegree, Treecode  # noqa: E402
+from repro.bem import OperatorGeometry, SingleLayerOperator  # noqa: E402
+from repro.bem.geometries import box, icosphere  # noqa: E402
+from repro.data.distributions import make_distribution, unit_charges  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+TOL = 1e-12
+
+
+def _time_best(fn, repeats: int):
+    best = np.inf
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_treecode(n: int, repeats: int, alpha: float = 0.5, p0: int = 4) -> dict:
+    pts = make_distribution("uniform", n, seed=n)
+    q = unit_charges(n, seed=n + 1, signed=True)
+    q2 = unit_charges(n, seed=n + 2, signed=True)
+    tc = Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha), alpha=alpha)
+    lists = tc.traverse(tc.tree.points, self_targets=True)
+
+    def fallback():
+        tc.set_charges(q2)
+        return tc.evaluate_lists(lists, tc.tree.points, self_targets=True)
+
+    t_fb, ref = _time_best(fallback, repeats)
+    plan = tc.compile_plan(lists=lists)
+    t_plan, res = _time_best(lambda: plan.execute(q2), repeats)
+    diff = float(np.max(np.abs(res.potential - ref.potential)))
+    return {
+        "n": n,
+        "compile_s": plan.compile_time,
+        "plan_mb": plan.memory_bytes / 1e6,
+        "far_spilled": plan.n_far_spilled,
+        "near_spilled": plan.n_near_spilled,
+        "fallback_matvec_s": t_fb,
+        "plan_matvec_s": t_plan,
+        "speedup": t_fb / t_plan,
+        "max_abs_diff": diff,
+    }
+
+
+def bench_bem(resolution: int, repeats: int, n_gauss: int = 6, alpha: float = 0.5) -> dict:
+    # 12 * resolution^2 panels; resolution=29 gives ~10k
+    mesh = box(resolution=resolution)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0.5, 1.5, mesh.n_vertices)
+    geometry = OperatorGeometry(mesh, n_gauss=n_gauss)
+    policy = AdaptiveChargeDegree(p0=4, alpha=alpha)
+    fb = SingleLayerOperator(
+        mesh, n_gauss=n_gauss, degree_policy=policy, alpha=alpha,
+        use_plan=False, geometry=geometry,
+    )
+    op = SingleLayerOperator(
+        mesh, n_gauss=n_gauss, degree_policy=policy, alpha=alpha, geometry=geometry,
+    )
+    fb.matvec(x)  # warm the cached interaction lists
+    t_fb, ref = _time_best(lambda: fb.matvec(x), repeats)
+    op.matvec(x)  # first application: un-planned (no compile cost yet)
+    op.matvec(x)  # second application triggers the compile
+    t_plan, v = _time_best(lambda: op.matvec(x), repeats)
+    plan = op._plan
+    return {
+        "panels": mesh.n_triangles,
+        "quad_points": mesh.n_triangles * n_gauss,
+        "targets": mesh.n_vertices,
+        "compile_s": plan.compile_time,
+        "plan_mb": plan.memory_bytes / 1e6,
+        "far_spilled": plan.n_far_spilled,
+        "near_spilled": plan.n_near_spilled,
+        "fallback_matvec_s": t_fb,
+        "plan_matvec_s": t_plan,
+        "speedup": t_fb / t_plan,
+        "max_abs_diff": float(np.max(np.abs(v - ref))),
+    }
+
+
+def run_full(out_path: pathlib.Path) -> int:
+    report = {"bench": "BENCH_3", "mode": "full", "treecode": [], "bem": None}
+    for n, repeats in ((2000, 5), (10000, 3), (50000, 1)):
+        row = bench_treecode(n, repeats)
+        report["treecode"].append(row)
+        print(
+            f"treecode n={n:6d}: fallback {row['fallback_matvec_s'] * 1e3:8.1f} ms, "
+            f"plan {row['plan_matvec_s'] * 1e3:8.1f} ms ({row['speedup']:.1f}x), "
+            f"compile {row['compile_s']:.2f} s, {row['plan_mb']:.0f} MB, "
+            f"diff {row['max_abs_diff']:.2e}"
+        )
+    bem = bench_bem(resolution=29, repeats=3)
+    report["bem"] = bem
+    print(
+        f"bem {bem['panels']} panels: fallback {bem['fallback_matvec_s'] * 1e3:.1f} ms, "
+        f"plan {bem['plan_matvec_s'] * 1e3:.1f} ms ({bem['speedup']:.1f}x), "
+        f"compile {bem['compile_s']:.2f} s, {bem['plan_mb']:.0f} MB, "
+        f"diff {bem['max_abs_diff']:.2e}"
+    )
+    ok_speed = bem["speedup"] >= 3.0
+    ok_diff = all(
+        r["max_abs_diff"] <= TOL for r in report["treecode"]
+    ) and bem["max_abs_diff"] <= TOL
+    report["acceptance"] = {"bem_speedup_3x": ok_speed, "max_abs_diff_1e12": ok_diff}
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not (ok_speed and ok_diff):
+        print("ACCEPTANCE FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_smoke() -> int:
+    """CI gate: compile a small plan, run 5 matvecs through each path,
+    require the compiled path to be no slower and exact to 1e-12."""
+    n, n_matvecs = 5000, 5
+    pts = make_distribution("uniform", n, seed=1)
+    q = unit_charges(n, seed=2, signed=True)
+    tc = Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5), alpha=0.5)
+    lists = tc.traverse(tc.tree.points, self_targets=True)
+    charges = [unit_charges(n, seed=10 + i, signed=True) for i in range(n_matvecs)]
+
+    t0 = time.perf_counter()
+    refs = []
+    for qi in charges:
+        tc.set_charges(qi)
+        refs.append(tc.evaluate_lists(lists, tc.tree.points, self_targets=True))
+    t_fb = time.perf_counter() - t0
+
+    plan = tc.compile_plan(lists=lists)
+    t0 = time.perf_counter()
+    results = [plan.execute(qi) for qi in charges]
+    t_plan = time.perf_counter() - t0
+
+    diff = max(
+        float(np.max(np.abs(r.potential - ref.potential)))
+        for r, ref in zip(results, refs)
+    )
+    print(
+        f"smoke n={n}, {n_matvecs} matvecs: fallback {t_fb:.2f} s, "
+        f"compiled {t_plan:.2f} s (compile {plan.compile_time:.2f} s), "
+        f"max diff {diff:.2e}"
+    )
+    if diff > TOL:
+        print(f"FAIL: plan/fallback disagreement {diff:.2e} > {TOL}", file=sys.stderr)
+        return 1
+    if t_plan > t_fb:
+        print(f"FAIL: compiled matvecs slower ({t_plan:.2f} s > {t_fb:.2f} s)", file=sys.stderr)
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="small CI smoke check")
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_3.json",
+        help="output path for the full report",
+    )
+    args = ap.parse_args(argv)
+    return run_smoke() if args.smoke else run_full(args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 from .geometries import box, cylinder, gripper, icosphere, parametric_patch, propeller
 from .gmres import GMRESResult, gmres
 from .mesh import TriangleMesh, merge_meshes, weld_vertices
-from .operator import SingleLayerOperator
+from .operator import OperatorGeometry, SingleLayerOperator
 from .quadrature import mesh_quadrature, triangle_rule
 from .solver import BEMSolution, capacitance, nodal_integral, solve_dirichlet
 
@@ -22,6 +22,7 @@ __all__ = [
     "gmres",
     "GMRESResult",
     "SingleLayerOperator",
+    "OperatorGeometry",
     "solve_dirichlet",
     "capacitance",
     "nodal_integral",

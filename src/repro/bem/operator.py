@@ -27,12 +27,59 @@ from ..core.degree import DegreePolicy, FixedDegree
 from ..core.treecode import Treecode, TreecodeStats
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span
+from ..tree.octree import build_octree
 from .mesh import TriangleMesh
 from .quadrature import mesh_quadrature, triangle_rule
 
-__all__ = ["SingleLayerOperator"]
+__all__ = ["SingleLayerOperator", "OperatorGeometry"]
 
 _FOUR_PI = 4.0 * np.pi
+
+
+class OperatorGeometry:
+    """Geometry shared across several operators on the same mesh.
+
+    Table-3-style sweeps build many :class:`SingleLayerOperator`\\ s over
+    one mesh, differing only in degree policy; the quadrature, the
+    octree and the per-``alpha`` vertex interaction lists depend on none
+    of that, so they are computed once here and handed to each operator.
+    The octree's charge aggregates are per-operator state —
+    :class:`~repro.core.treecode.Treecode` re-derives them from its own
+    charges when reusing a tree — so sharing is safe even though the
+    operators interleave ``set_charges`` calls.
+    """
+
+    def __init__(self, mesh: TriangleMesh, n_gauss: int = 6) -> None:
+        mesh.validate()
+        self.mesh = mesh
+        self.n_gauss = n_gauss
+        self.points, self.weights, self.element = mesh_quadrature(mesh, n_gauss)
+        bary, _ = triangle_rule(n_gauss)
+        self.gp_nodes = mesh.triangles[self.element]  # (G, 3)
+        self.gp_shape = np.tile(bary, (mesh.n_triangles, 1))  # (G, 3)
+        self._tree = None
+        self._tree_leaf_size = None
+        self._lists: dict[float, object] = {}
+
+    def tree_for(self, leaf_size: int):
+        """The shared octree (built with the quadrature weights as
+        structure charges, exactly as a standalone operator would)."""
+        if self._tree is None or self._tree_leaf_size != leaf_size:
+            self._tree = build_octree(self.points, self.weights, leaf_size=leaf_size)
+            self._tree_leaf_size = leaf_size
+            self._lists = {}
+        return self._tree
+
+    def lists_for(self, treecode: Treecode, alpha: float):
+        """Vertex interaction lists, cached per MAC parameter (the
+        traversal reads only tree structure and ``alpha``, never charges
+        or degrees)."""
+        if alpha not in self._lists:
+            with span("treecode.traverse", targets=int(self.mesh.n_vertices)):
+                self._lists[alpha] = treecode.traverse(
+                    self.mesh.vertices, self_targets=False
+                )
+        return self._lists[alpha]
 
 
 class SingleLayerOperator:
@@ -46,6 +93,18 @@ class SingleLayerOperator:
         Gauss points per element (the paper uses 6).
     degree_policy, alpha, leaf_size:
         Treecode configuration (see :class:`~repro.core.treecode.Treecode`).
+    use_plan:
+        Compile the geometry into a
+        :class:`~repro.perf.plan.CompiledPlan` lazily at the *second*
+        matvec, so iterative solves (GMRES) amortize the compile while
+        one-shot applications pay nothing.  ``False`` keeps the seed
+        ``set_charges`` + ``evaluate_lists`` path on every application.
+    plan_budget:
+        Memory budget (bytes) for the plan's precomputed operators;
+        ``None`` uses :data:`~repro.perf.plan.DEFAULT_MEMORY_BUDGET`.
+    geometry:
+        A shared :class:`OperatorGeometry` for the same mesh/``n_gauss``,
+        reusing its quadrature, octree and interaction lists.
 
     Attributes
     ----------
@@ -63,15 +122,29 @@ class SingleLayerOperator:
         degree_policy: DegreePolicy | None = None,
         alpha: float = 0.5,
         leaf_size: int = 32,
+        use_plan: bool = True,
+        plan_budget: int | None = None,
+        geometry: OperatorGeometry | None = None,
     ) -> None:
-        mesh.validate()
+        if geometry is not None:
+            if geometry.mesh is not mesh or geometry.n_gauss != n_gauss:
+                raise ValueError(
+                    "shared OperatorGeometry does not match this mesh/n_gauss"
+                )
+            self.points, self.weights = geometry.points, geometry.weights
+            self.element = geometry.element
+            self.gp_nodes, self.gp_shape = geometry.gp_nodes, geometry.gp_shape
+            shared_tree = geometry.tree_for(leaf_size)
+        else:
+            mesh.validate()
+            self.points, self.weights, self.element = mesh_quadrature(mesh, n_gauss)
+            bary, _ = triangle_rule(n_gauss)
+            # Per Gauss point: the 3 nodes of its element and shape values.
+            self.gp_nodes = mesh.triangles[self.element]  # (G, 3)
+            self.gp_shape = np.tile(bary, (mesh.n_triangles, 1))  # (G, 3)
+            shared_tree = None
         self.mesh = mesh
         self.n_gauss = n_gauss
-        self.points, self.weights, self.element = mesh_quadrature(mesh, n_gauss)
-        bary, _ = triangle_rule(n_gauss)
-        # Per Gauss point: the 3 nodes of its element and shape values.
-        self.gp_nodes = mesh.triangles[self.element]  # (G, 3)
-        self.gp_shape = np.tile(bary, (mesh.n_triangles, 1))  # (G, 3)
 
         policy = degree_policy if degree_policy is not None else FixedDegree(4)
         self.treecode = Treecode(
@@ -80,10 +153,17 @@ class SingleLayerOperator:
             degree_policy=policy,
             alpha=alpha,
             leaf_size=leaf_size,
+            tree=shared_tree,
         )
         # Geometry-only interaction lists for the collocation targets.
-        with span("treecode.traverse", targets=int(mesh.n_vertices)):
-            self._lists = self.treecode.traverse(mesh.vertices, self_targets=False)
+        if geometry is not None:
+            self._lists = geometry.lists_for(self.treecode, alpha)
+        else:
+            with span("treecode.traverse", targets=int(mesh.n_vertices)):
+                self._lists = self.treecode.traverse(mesh.vertices, self_targets=False)
+        self.use_plan = bool(use_plan)
+        self.plan_budget = plan_budget
+        self._plan = None
         self.stats = TreecodeStats()
         self.n_matvecs = 0
 
@@ -103,13 +183,27 @@ class SingleLayerOperator:
         return self.weights * dens / _FOUR_PI
 
     def matvec(self, sigma: np.ndarray) -> np.ndarray:
-        """Apply the operator: potential at the vertices for density sigma."""
+        """Apply the operator: potential at the vertices for density sigma.
+
+        With ``use_plan`` (default), the second application compiles the
+        frozen geometry into a plan; that and every later matvec is then
+        pure linear algebra over the precomputed operators.
+        """
         with span("bem.matvec", matvec=self.n_matvecs):
             q = self.charges_for(sigma)
-            self.treecode.set_charges(q)
-            res = self.treecode.evaluate_lists(
-                self._lists, self.mesh.vertices, self_targets=False
-            )
+            if self.use_plan and self._plan is None and self.n_matvecs >= 1:
+                self._plan = self.treecode.compile_plan(
+                    targets=self.mesh.vertices,
+                    lists=self._lists,
+                    memory_budget=self.plan_budget,
+                )
+            if self._plan is not None:
+                res = self._plan.execute(q)
+            else:
+                self.treecode.set_charges(q)
+                res = self.treecode.evaluate_lists(
+                    self._lists, self.mesh.vertices, self_targets=False
+                )
         if is_enabled():
             REGISTRY.counter("bem_matvecs", "boundary-operator applications").inc()
         self.stats.merge(res.stats)

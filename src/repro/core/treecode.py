@@ -46,6 +46,7 @@ from ..multipole.harmonics import ncoef, term_count
 from ..multipole.translations import m2m
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
+from ..perf.scatter import scatter_add
 from ..robust.faults import maybe_corrupt
 from ..robust.guards import check_bound_accounting, check_finite
 from ..tree.octree import Octree, build_octree
@@ -203,6 +204,14 @@ class Treecode:
         field is unchanged (for ε well below the leaf scale the
         far-field difference is O(ε²/r³), far under the truncation
         error).
+    tree:
+        An already-built :class:`~repro.tree.octree.Octree` over the
+        *same* points, to share across several treecodes (sweep drivers
+        vary only ``alpha`` or the degree policy).  The tree's spatial
+        structure and expansion centers are reused as-is; its charge
+        aggregates are recomputed from ``charges`` (matching the
+        :meth:`set_charges` semantics), so a reused tree may carry stale
+        charges from a previous owner without affecting correctness.
 
     Examples
     --------
@@ -227,6 +236,7 @@ class Treecode:
         upward: str = "m2m",
         max_depth: int = 20,
         softening: float = 0.0,
+        tree: Octree | None = None,
     ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValueError(f"alpha must be in (0, 1), got {alpha}")
@@ -246,13 +256,24 @@ class Treecode:
         check_finite("treecode.charges", np.asarray(charges), context="input charges")
 
         with stopwatch("treecode.build", n=int(points.shape[0])) as sw_build:
-            self.tree: Octree = build_octree(
-                points,
-                charges,
-                leaf_size=leaf_size,
-                expansion_center=expansion_center,
-                max_depth=max_depth,
-            )
+            if tree is not None:
+                pts = np.asarray(points, dtype=np.float64)
+                if tree.n_particles != pts.shape[0] or not np.array_equal(
+                    tree.points, pts[tree.perm]
+                ):
+                    raise ValueError("reused tree does not match the given points")
+                self.tree: Octree = tree
+                self._set_charge_aggregates(
+                    np.asarray(charges, dtype=np.float64)
+                )
+            else:
+                self.tree = build_octree(
+                    points,
+                    charges,
+                    leaf_size=leaf_size,
+                    expansion_center=expansion_center,
+                    max_depth=max_depth,
+                )
 
         with stopwatch("treecode.upward", upward=upward) as sw_up:
             self.p_eval = np.asarray(
@@ -510,10 +531,10 @@ class Treecode:
                             ).observe(chi - clo)
                         rel = tgt[tids] - tree.center_exp[nodes]
                         vals = m2p_rows(self.coeffs[nodes], rel, p)
-                        np.add.at(phi, tids, vals)
+                        scatter_add(phi, tids, vals)
                         if grad is not None:
                             gv = m2p_grad_rows(self.coeffs[nodes], rel, p)
-                            np.add.at(grad, tids, gv)
+                            scatter_add(grad, tids, gv)
                         if bound is not None:
                             r = np.sqrt(
                                 np.einsum("ij,ij->i", rel, rel)
@@ -521,7 +542,7 @@ class Treecode:
                             b = theorem1_bound(
                                 tree.abs_charge[nodes], tree.radius[nodes], r, p
                             )
-                            np.add.at(bound, tids, b)
+                            scatter_add(bound, tids, b)
                             # Theorem-1 budget per tree level — the
                             # accounting the paper's theorems sum over
                             lsum = np.bincount(tree.level[nodes], weights=b)
@@ -607,6 +628,15 @@ class Treecode:
         every matrix-vector product.
         """
         charges = np.asarray(charges, dtype=np.float64)
+        self._set_charge_aggregates(charges)
+        with span("treecode.set_charges", n=int(charges.shape[0])):
+            self._build_expansions()
+
+    def _set_charge_aggregates(self, charges: np.ndarray) -> None:
+        """Re-sort charges into Morton order and recompute the per-node
+        charge aggregates (``abs_charge``/``net_charge``) on the shared
+        tree — everything :meth:`set_charges` does short of rebuilding
+        the expansions."""
         tree = self.tree
         if charges.shape != (tree.n_particles,):
             raise ValueError(
@@ -614,13 +644,48 @@ class Treecode:
             )
         q_sorted = charges[tree.perm]
         tree.charges = q_sorted
-        absq = np.abs(q_sorted)
-        cs_abs = np.concatenate([[0.0], np.cumsum(absq)])
+        cs_abs = np.concatenate([[0.0], np.cumsum(np.abs(q_sorted))])
         cs_net = np.concatenate([[0.0], np.cumsum(q_sorted)])
         tree.abs_charge = cs_abs[tree.end] - cs_abs[tree.start]
         tree.net_charge = cs_net[tree.end] - cs_net[tree.start]
-        with span("treecode.set_charges", n=int(charges.shape[0])):
-            self._build_expansions()
+
+    def compile_plan(
+        self,
+        targets: np.ndarray | None = None,
+        compute: str = "potential",
+        accumulate_bounds: bool = False,
+        memory_budget: int | None = None,
+        lists: InteractionLists | None = None,
+    ):
+        """Freeze this treecode's geometry into a
+        :class:`~repro.perf.plan.CompiledPlan` for repeated matvecs.
+
+        ``targets=None`` compiles a self-evaluation plan (targets are the
+        source particles, self-interaction excluded, results in input
+        order), matching :meth:`evaluate`.  Pass cached ``lists`` to skip
+        the traversal.  ``plan.execute(q)`` then equals
+        ``set_charges(q)`` + :meth:`evaluate_lists` to rounding, without
+        touching this treecode's state.
+        """
+        from ..perf.plan import DEFAULT_MEMORY_BUDGET, compile_plan
+
+        self_targets = targets is None
+        tgt = (
+            self.tree.points if self_targets else np.asarray(targets, dtype=np.float64)
+        )
+        if lists is None:
+            lists = self.traverse(tgt, self_targets)
+        return compile_plan(
+            self,
+            lists,
+            tgt,
+            self_targets=self_targets,
+            compute=compute,
+            accumulate_bounds=accumulate_bounds,
+            memory_budget=(
+                DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
+            ),
+        )
 
     # convenience ------------------------------------------------------
     @property

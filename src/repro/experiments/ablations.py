@@ -29,6 +29,7 @@ from ..direct import direct_potential
 from ..fmm import UniformFMM, level_degrees
 from ..parallel import MachineModel, make_blocks, profile_blocks, simulate
 from ..robust.checkpoint import Checkpoint, cached_step
+from ..tree.octree import build_octree
 
 __all__ = [
     "run_cost_ratio",
@@ -56,12 +57,19 @@ def run_cost_ratio(
             q = unit_charges(n, seed=seed + n + 1, signed=True)
             terms = {}
             height = None
+            # the octree and the traversal depend on neither the degree
+            # policy nor the charges, so both methods share them
+            tree = build_octree(pts, q)
+            lists = None
             for name, policy in (
                 ("orig", FixedDegree(p0)),
                 ("new", AdaptiveChargeDegree(p0=p0, alpha=alpha)),
             ):
-                tc = Treecode(pts, q, degree_policy=policy, alpha=alpha)
-                terms[name] = tc.evaluate().stats.n_terms
+                tc = Treecode(pts, q, degree_policy=policy, alpha=alpha, tree=tree)
+                if lists is None:
+                    lists = tc.traverse(tree.points, self_targets=True)
+                res = tc.evaluate_lists(lists, tree.points, self_targets=True)
+                terms[name] = res.stats.n_terms
                 height = tc.height
             measured = terms["new"] / terms["orig"]
             predicted = theorem5_cost_ratio(p0, alpha, height)
@@ -84,14 +92,21 @@ def run_alpha_sweep(
     pts = make_distribution("uniform", n, seed=seed + 1)
     q = unit_charges(n, seed=seed + 2, signed=True)
     ref = direct_potential(pts, q)
+    # one octree serves every sweep point (it does not depend on alpha
+    # or the degree policy); each alpha shares one traversal between the
+    # two methods (the MAC reads only tree geometry and alpha)
+    tree = build_octree(pts, q)
     rows = []
     for a in alphas:
 
         def compute(a=a) -> list:
             row = [a]
+            lists = None
             for policy in (FixedDegree(p0), AdaptiveChargeDegree(p0=p0, alpha=a)):
-                tc = Treecode(pts, q, degree_policy=policy, alpha=a)
-                res = tc.evaluate()
+                tc = Treecode(pts, q, degree_policy=policy, alpha=a, tree=tree)
+                if lists is None:
+                    lists = tc.traverse(tree.points, self_targets=True)
+                res = tc.evaluate_lists(lists, tree.points, self_targets=True)
                 row += [relative_l2_error(res.potential, ref), res.stats.n_terms]
             return row
 

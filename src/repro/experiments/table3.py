@@ -21,7 +21,7 @@ from ..analysis.metrics import relative_l2_error
 from ..obs.tracing import stopwatch
 from ..bem.geometries import gripper, propeller
 from ..bem.mesh import TriangleMesh
-from ..bem.operator import SingleLayerOperator
+from ..bem.operator import OperatorGeometry, SingleLayerOperator
 from ..bem.solver import solve_dirichlet
 from ..core.degree import AdaptiveChargeDegree, FixedDegree
 from ..robust.checkpoint import Checkpoint, cached_step
@@ -55,20 +55,35 @@ def run_table3_geometry(
     n_gauss: int = 6,
     degrees: list[int] | None = None,
     seed: int = 0,
+    geometry: OperatorGeometry | None = None,
 ) -> list[Table3Row]:
     """One geometry block of Table 3."""
     degrees = list(range(p0, p0 + 4)) if degrees is None else degrees
     rng = np.random.default_rng(seed)
     x = rng.uniform(0.5, 1.5, mesh.n_vertices)
 
+    # one shared geometry (quadrature + octree + interaction lists) for
+    # every operator in this block — they differ only in degree policy
+    if geometry is None:
+        geometry = OperatorGeometry(mesh, n_gauss=n_gauss)
     ref_op = SingleLayerOperator(
-        mesh, n_gauss=n_gauss, degree_policy=FixedDegree(REFERENCE_DEGREE), alpha=alpha
+        mesh,
+        n_gauss=n_gauss,
+        degree_policy=FixedDegree(REFERENCE_DEGREE),
+        alpha=alpha,
+        geometry=geometry,
     )
     v_ref = ref_op.matvec(x)
 
     rows = []
     for p in degrees:
-        op = SingleLayerOperator(mesh, n_gauss=n_gauss, degree_policy=FixedDegree(p), alpha=alpha)
+        op = SingleLayerOperator(
+            mesh,
+            n_gauss=n_gauss,
+            degree_policy=FixedDegree(p),
+            alpha=alpha,
+            geometry=geometry,
+        )
         with stopwatch("table3.matvec", geometry=name, degree=str(p)) as sw:
             v = op.matvec(x)
         dt = sw.elapsed
@@ -87,6 +102,7 @@ def run_table3_geometry(
         n_gauss=n_gauss,
         degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha),
         alpha=alpha,
+        geometry=geometry,
     )
     with stopwatch("table3.matvec", geometry=name, degree=f"{p0}*") as sw:
         v = op.matvec(x)
@@ -132,15 +148,26 @@ def run_table3(
     for name, mesh in meshes.items():
 
         def compute(name=name, mesh=mesh) -> dict:
+            geometry = OperatorGeometry(mesh, n_gauss=n_gauss)
             geo_rows = run_table3_geometry(
-                name, mesh, p0=p0, alpha=alpha, n_gauss=n_gauss, seed=seed
+                name,
+                mesh,
+                p0=p0,
+                alpha=alpha,
+                n_gauss=n_gauss,
+                seed=seed,
+                geometry=geometry,
             )
             sol = solve_dirichlet(
                 mesh,
                 1.0,
-                n_gauss=n_gauss,
-                degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha),
-                alpha=alpha,
+                operator=SingleLayerOperator(
+                    mesh,
+                    n_gauss=n_gauss,
+                    degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha),
+                    alpha=alpha,
+                    geometry=geometry,
+                ),
                 restart=10,
                 tol=1e-6,
                 robust=True,

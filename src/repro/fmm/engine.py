@@ -22,8 +22,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..multipole.expansion import l2p, p2m_terms
-from ..multipole.harmonics import ncoef, term_count
+from ..multipole.expansion import l2p, m_weights, p2m_terms
+from ..multipole.harmonics import (
+    cart_to_sph,
+    degree_of_index,
+    ncoef,
+    power_table,
+    sph_harmonics,
+    term_count,
+)
 from ..multipole.translations import l2l, m2l, m2m
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
@@ -70,6 +77,13 @@ class UniformFMM:
     degrees:
         Per-level degree list (root..leaf), e.g. from
         :func:`level_degrees`; an int means fixed degree.
+    use_plan:
+        Freeze the geometry into a plan (P2M rows, probed M2L operator
+        matrices per offset group, L2P rows, near pair lists) at the
+        *second* :meth:`evaluate`, so repeated evaluations over the same
+        grid — e.g. after :meth:`set_charges` — skip all geometry
+        recomputation.  The first evaluation always runs the direct
+        path, so one-shot uses pay nothing.
     """
 
     def __init__(
@@ -78,7 +92,9 @@ class UniformFMM:
         charges: np.ndarray,
         level: int | None = None,
         degrees: int | list[int] = 6,
+        use_plan: bool = True,
     ) -> None:
+        self.use_plan = bool(use_plan)
         points = np.ascontiguousarray(points, dtype=np.float64)
         charges = np.ascontiguousarray(charges, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 3:
@@ -124,6 +140,25 @@ class UniformFMM:
         self.cell_start = np.searchsorted(cell, np.arange(n_cells), side="left")
         self.cell_end = np.searchsorted(cell, np.arange(n_cells), side="right")
         self.stats = FMMStats()
+        # frozen-geometry plan (P2M rows, M2L operator matrices, L2P
+        # rows, near pair lists) — built lazily at the second evaluate()
+        self._plan = None
+        self._n_evals = 0
+        self.plan_memory_bytes = 0
+        self.plan_compile_time = 0.0
+
+    def set_charges(self, charges: np.ndarray) -> None:
+        """Replace the charges, keeping the grid and the frozen plan.
+
+        The geometry operators depend on positions and degrees only, so
+        repeated ``set_charges`` + :meth:`evaluate` pays just the linear
+        algebra — the FMM analogue of the treecode's compiled matvec.
+        """
+        charges = np.ascontiguousarray(charges, dtype=np.float64)
+        n = self.points.shape[0]
+        if charges.shape != (n,):
+            raise ValueError(f"charges must be ({n},), got {charges.shape}")
+        self.charges = charges[self.perm]
 
     # ------------------------------------------------------------------
     def _cell_centers(self, l: int) -> np.ndarray:
@@ -173,6 +208,133 @@ class UniformFMM:
         return degs
 
     # ------------------------------------------------------------------
+    def _ensure_plan(self) -> dict:
+        """Freeze the grid geometry into reusable operators.
+
+        * **P2M rows** ``G``: per-particle ``rho^n conj(Y)`` relative to
+          its leaf center, so the leaf upward pass is one segmented GEMV.
+        * **M2L operator matrices**: the translation is real-linear (not
+          complex-linear — conjugate symmetry enters), so each
+          (level, offset) group's operator is probed once with the basis
+          ``[I; iI]`` into a pair of complex matrices ``(Tr, Ti)``;
+          applying it is ``M.real @ Tr + M.imag @ Ti``, two BLAS GEMMs.
+        * **L2P rows** ``R``: per-particle ``w · Y rho^n`` at the leaf
+          degree; the downward leaf pass is one row-wise contraction.
+        * **Near pair lists**: the (target cell, source cell) pairs per
+          neighbor offset, in the direct path's traversal order.
+        """
+        if self._plan is not None:
+            return self._plan
+        with stopwatch("plan.compile", engine="fmm", level=self.L) as sw:
+            L, degs = self.L, self.degrees
+            p_store = max(degs[2:]) if L >= 2 else degs[-1]
+            centers_L = self._cell_centers(L)
+            occupied = np.nonzero(self.cell_end > self.cell_start)[0]
+            rel = self.points - centers_L[self.cell_of]
+            rho, ct, ph = cart_to_sph(rel)
+            ns, _ = degree_of_index(p_store)
+            G = power_table(rho, p_store)[:, ns] * np.conj(
+                sph_harmonics(ct, ph, p_store)
+            )
+            pL = degs[L]
+            nsL, _ = degree_of_index(pL)
+            R = (
+                sph_harmonics(ct, ph, pL)
+                * power_table(rho, pL)[:, nsL]
+                * m_weights(pL)
+            )
+            mem = G.nbytes + R.nbytes
+
+            m2l_groups: dict[int, list] = {}
+            for l in range(2, L + 1):
+                p = degs[l]
+                nc_p = ncoef(p)
+                eye = np.eye(nc_p, dtype=np.complex128)
+                pos = self._coords(l)
+                ncell = 1 << l
+                h = self.edge / ncell
+                order = np.arange(8**l)
+                groups = []
+                for dx in range(-3, 4):
+                    for dy in range(-3, 4):
+                        for dz in range(-3, 4):
+                            if max(abs(dx), abs(dy), abs(dz)) <= 1:
+                                continue
+                            src_x = pos[:, 0] + dx
+                            src_y = pos[:, 1] + dy
+                            src_z = pos[:, 2] + dz
+                            valid = (
+                                (src_x >= 0) & (src_x < ncell)
+                                & (src_y >= 0) & (src_y < ncell)
+                                & (src_z >= 0) & (src_z < ncell)
+                            )
+                            if l > 2:
+                                valid &= (
+                                    (np.abs((src_x >> 1) - (pos[:, 0] >> 1)) <= 1)
+                                    & (np.abs((src_y >> 1) - (pos[:, 1] >> 1)) <= 1)
+                                    & (np.abs((src_z >> 1) - (pos[:, 2] >> 1)) <= 1)
+                                )
+                            tgt = order[valid]
+                            if tgt.size == 0:
+                                continue
+                            src = interleave3(
+                                src_x[valid].astype(np.uint64),
+                                src_y[valid].astype(np.uint64),
+                                src_z[valid].astype(np.uint64),
+                            ).astype(np.int64)
+                            d = np.array([[dx * h, dy * h, dz * h]])
+                            Tr = m2l(eye, d, p, p)
+                            Ti = m2l(1j * eye, d, p, p)
+                            groups.append((tgt, src, Tr, Ti))
+                            mem += tgt.nbytes + src.nbytes + Tr.nbytes + Ti.nbytes
+                m2l_groups[l] = groups
+
+            near_pairs = []
+            coordsL = self._coords(L)
+            ncell = 1 << L
+            for dx in range(-1, 2):
+                for dy in range(-1, 2):
+                    for dz in range(-1, 2):
+                        tgt_pos = coordsL[occupied]
+                        sx = tgt_pos[:, 0] + dx
+                        sy = tgt_pos[:, 1] + dy
+                        sz = tgt_pos[:, 2] + dz
+                        valid = (
+                            (sx >= 0) & (sx < ncell)
+                            & (sy >= 0) & (sy < ncell)
+                            & (sz >= 0) & (sz < ncell)
+                        )
+                        tcells = occupied[valid]
+                        if tcells.size == 0:
+                            continue
+                        scells = interleave3(
+                            sx[valid].astype(np.uint64),
+                            sy[valid].astype(np.uint64),
+                            sz[valid].astype(np.uint64),
+                        ).astype(np.int64)
+                        nonempty = self.cell_end[scells] > self.cell_start[scells]
+                        tcells, scells = tcells[nonempty], scells[nonempty]
+                        if tcells.size:
+                            near_pairs.append((tcells, scells))
+                            mem += tcells.nbytes + scells.nbytes
+            self._plan = {
+                "G": G,
+                "R": R,
+                "starts": self.cell_start[occupied],
+                "occupied": occupied,
+                "m2l": m2l_groups,
+                "near": near_pairs,
+            }
+        self.plan_compile_time = sw.elapsed
+        self.plan_memory_bytes = int(mem)
+        if is_enabled():
+            REGISTRY.counter("plan_compiles", "evaluation plans compiled").inc()
+            REGISTRY.gauge(
+                "plan_memory_bytes", "materialized bytes of the most recent plan"
+            ).set(self.plan_memory_bytes)
+        return self._plan
+
+    # ------------------------------------------------------------------
     def evaluate(self) -> np.ndarray:
         """Potential at every source particle (original order),
         self-interaction excluded."""
@@ -181,6 +343,9 @@ class UniformFMM:
         p_store = max(degs[2:]) if L >= 2 else degs[-1]
         nc_store = ncoef(p_store)
         obs_on = is_enabled()
+        plan = None
+        if self.use_plan and (self._plan is not None or self._n_evals >= 1):
+            plan = self._ensure_plan()
         outer = span("fmm.evaluate", n=int(self.points.shape[0]), level=L).__enter__()
         m2l_before = self.stats.n_m2l
         terms_before = self.stats.n_terms_m2l
@@ -190,11 +355,17 @@ class UniformFMM:
         sw = stopwatch("fmm.upward", level=L).__enter__()
         centers_L = self._cell_centers(L)
         M = {L: np.zeros((8**L, nc_store), dtype=np.complex128)}
-        occupied = np.nonzero(self.cell_end > self.cell_start)[0]
-        for c in occupied:
-            s, e = self.cell_start[c], self.cell_end[c]
-            rel = self.points[s:e] - centers_L[c]
-            M[L][c] = p2m_terms(rel, self.charges[s:e], p_store).sum(axis=0)
+        if plan is not None:
+            occupied = plan["occupied"]
+            M[L][occupied] = np.add.reduceat(
+                self.charges[:, None] * plan["G"], plan["starts"], axis=0
+            )
+        else:
+            occupied = np.nonzero(self.cell_end > self.cell_start)[0]
+            for c in occupied:
+                s, e = self.cell_start[c], self.cell_end[c]
+                rel = self.points[s:e] - centers_L[c]
+                M[L][c] = p2m_terms(rel, self.charges[s:e], p_store).sum(axis=0)
         for l in range(L - 1, 1, -1):
             child_centers = self._cell_centers(l + 1)
             parent_centers = self._cell_centers(l)
@@ -214,6 +385,74 @@ class UniformFMM:
         # ---- M2L at every level (V-lists grouped by offset) ----
         sw = stopwatch("fmm.m2l").__enter__()
         Llocal = {l: np.zeros((8**l, ncoef(degs[l])), dtype=np.complex128) for l in range(2, L + 1)}
+        if plan is not None:
+            for l in range(2, L + 1):
+                p = degs[l]
+                nc_p = ncoef(p)
+                Ll = Llocal[l]
+                Ml = M[l]
+                for tgt, src, Tr, Ti in plan["m2l"][l]:
+                    X = Ml[src][:, :nc_p]
+                    Ll[tgt] += X.real @ Tr + X.imag @ Ti
+                    self.stats.n_m2l += tgt.size
+                    self.stats.n_terms_m2l += tgt.size * term_count(p)
+            sw.__exit__(None, None, None)
+            self.stats.times["m2l"] = sw.elapsed
+        else:
+            self._m2l_direct(M, Llocal, sw)
+
+        # ---- downward: L2L ----
+        sw = stopwatch("fmm.l2l").__enter__()
+        for l in range(2, L):
+            p_par, p_child = degs[l], degs[l + 1]
+            child_centers = self._cell_centers(l + 1)
+            parent_centers = self._cell_centers(l)
+            child_ids = np.arange(8 ** (l + 1))
+            parent_ids = child_ids >> 3
+            for oct_ in range(8):
+                sel = child_ids[(child_ids & 7) == oct_]
+                par = parent_ids[sel]
+                shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
+                shifted = l2l(Llocal[l][par], shift, p_par)
+                Llocal[l + 1][sel] += shifted[:, : ncoef(p_child)]
+        sw.__exit__(None, None, None)
+        self.stats.times["l2l"] = sw.elapsed
+
+        # ---- leaf: L2P + near field ----
+        sw = stopwatch("fmm.near").__enter__()
+        n = self.points.shape[0]
+        phi = np.zeros(n, dtype=np.float64)
+        pL = degs[L]
+        if plan is not None:
+            Lgather = Llocal[L][self.cell_of]
+            phi += np.einsum("tc,tc->t", plan["R"].real, Lgather.real) - np.einsum(
+                "tc,tc->t", plan["R"].imag, Lgather.imag
+            )
+            for tcells, scells in plan["near"]:
+                for tc, sc in zip(tcells, scells):
+                    ts, te = self.cell_start[tc], self.cell_end[tc]
+                    ss, se = self.cell_start[sc], self.cell_end[sc]
+                    d = self.points[ts:te, None, :] - self.points[None, ss:se, :]
+                    r2 = np.einsum("tsi,tsi->ts", d, d)
+                    with np.errstate(divide="ignore"):
+                        inv = 1.0 / np.sqrt(r2)
+                    inv[r2 == 0.0] = 0.0
+                    phi[ts:te] += inv @ self.charges[ss:se]
+                    self.stats.n_pp_pairs += (te - ts) * (se - ss)
+        else:
+            for c in occupied:
+                s, e = self.cell_start[c], self.cell_end[c]
+                rel = self.points[s:e] - centers_L[c]
+                phi[s:e] += l2p(Llocal[L][c], rel, pL)
+            self._near_direct(phi, occupied)
+        sw.__exit__(None, None, None)
+        self.stats.times["near"] = sw.elapsed
+        return self._finish(phi, obs_on, outer, m2l_before, terms_before, pp_before)
+
+    def _m2l_direct(self, M, Llocal, sw) -> None:
+        """Direct (un-planned) M2L sweep, one batched translation per
+        (level, offset) group."""
+        L, degs = self.L, self.degrees
         for l in range(2, L + 1):
             p = degs[l]
             coords = self._coords(l)
@@ -260,33 +499,9 @@ class UniformFMM:
         sw.__exit__(None, None, None)
         self.stats.times["m2l"] = sw.elapsed
 
-        # ---- downward: L2L ----
-        sw = stopwatch("fmm.l2l").__enter__()
-        for l in range(2, L):
-            p_par, p_child = degs[l], degs[l + 1]
-            child_centers = self._cell_centers(l + 1)
-            parent_centers = self._cell_centers(l)
-            child_ids = np.arange(8 ** (l + 1))
-            parent_ids = child_ids >> 3
-            for oct_ in range(8):
-                sel = child_ids[(child_ids & 7) == oct_]
-                par = parent_ids[sel]
-                shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
-                shifted = l2l(Llocal[l][par], shift, p_par)
-                Llocal[l + 1][sel] += shifted[:, : ncoef(p_child)]
-        sw.__exit__(None, None, None)
-        self.stats.times["l2l"] = sw.elapsed
-
-        # ---- leaf: L2P + near field ----
-        sw = stopwatch("fmm.near").__enter__()
-        n = self.points.shape[0]
-        phi = np.zeros(n, dtype=np.float64)
-        pL = degs[L]
-        for c in occupied:
-            s, e = self.cell_start[c], self.cell_end[c]
-            rel = self.points[s:e] - centers_L[c]
-            phi[s:e] += l2p(Llocal[L][c], rel, pL)
-
+    def _near_direct(self, phi: np.ndarray, occupied: np.ndarray) -> None:
+        """Direct (un-planned) near-field sweep over neighbor offsets."""
+        L = self.L
         coordsL = self._coords(L)
         ncell = 1 << L
         for dx in range(-1, 2):
@@ -321,9 +536,11 @@ class UniformFMM:
                         inv[r2 == 0.0] = 0.0
                         phi[ts:te] += inv @ self.charges[ss:se]
                         self.stats.n_pp_pairs += (te - ts) * (se - ss)
-        sw.__exit__(None, None, None)
-        self.stats.times["near"] = sw.elapsed
 
+    def _finish(self, phi, obs_on, outer, m2l_before, terms_before, pp_before):
+        """Metrics, un-sorting and output guards shared by both paths."""
+        n = phi.shape[0]
+        self._n_evals += 1
         if obs_on:
             REGISTRY.counter("fmm_m2l_ops", "M2L translations applied").inc(
                 self.stats.n_m2l - m2l_before

@@ -24,6 +24,8 @@ expansion at many targets is a single dense matrix-vector product.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .harmonics import (
@@ -48,14 +50,21 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def m_weights(p: int) -> np.ndarray:
     """Real-part weights per packed index: 1 for ``m = 0``, 2 for ``m > 0``.
 
     Using conjugate symmetry, the full-``m`` sum collapses to
     ``sum_m C_n^m F_n^m = C_n^0 F_n^0 + 2 Re sum_{m>0} C_n^m F_n^m``.
+
+    Cached per degree (and returned read-only): the evaluator calls this
+    once per far-field chunk, and rebuilding the index grids dominated
+    the cost for small chunks.
     """
     _, ms = degree_of_index(p)
-    return np.where(ms == 0, 1.0, 2.0)
+    w = np.where(ms == 0, 1.0, 2.0)
+    w.setflags(write=False)
+    return w
 
 
 def p2m(rel_pos: np.ndarray, q: np.ndarray, p: int) -> np.ndarray:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .expansion import m_weights
 from .harmonics import cart_to_sph, degree_of_index, norm_table, power_table
 from .legendre import legendre_theta_derivative_table
 
@@ -55,7 +56,7 @@ def m2p_grad(coeffs: np.ndarray, rel_targets: np.ndarray, p: int) -> np.ndarray:
     rel_targets = np.asarray(rel_targets, dtype=np.float64)
     r, ct, phi = cart_to_sph(rel_targets)
     Y, dY, ns, ms = _angular_tables(ct, phi, p)
-    w = np.where(ms == 0, 1.0, 2.0)
+    w = m_weights(p)
     c = w * np.asarray(coeffs)
 
     rinv = 1.0 / r
@@ -84,7 +85,7 @@ def m2p_grad_rows(coeff_rows: np.ndarray, rel_targets: np.ndarray, p: int) -> np
     rel_targets = np.asarray(rel_targets, dtype=np.float64)
     r, ct, phi = cart_to_sph(rel_targets)
     Y, dY, ns, ms = _angular_tables(ct, phi, p)
-    w = np.where(ms == 0, 1.0, 2.0)
+    w = m_weights(p)
     C = np.asarray(coeff_rows)[:, : ncoef(p)] * w
 
     rinv = 1.0 / r
@@ -105,7 +106,7 @@ def l2p_grad(coeffs: np.ndarray, rel_targets: np.ndarray, p: int) -> np.ndarray:
     rel_targets = np.asarray(rel_targets, dtype=np.float64)
     r, ct, phi = cart_to_sph(rel_targets)
     Y, dY, ns, ms = _angular_tables(ct, phi, p)
-    w = np.where(ms == 0, 1.0, 2.0)
+    w = m_weights(p)
     c = w * np.asarray(coeffs)
 
     r_safe = np.maximum(r, 1e-300)

@@ -1,6 +1,11 @@
 """Parallel treecode: w-block partitioning, executors, machine model."""
 
-from .executors import ParallelResult, evaluate_parallel, original_points
+from .executors import (
+    ParallelResult,
+    evaluate_parallel,
+    evaluate_plan_parallel,
+    original_points,
+)
 from .machine import MachineModel, SimulationResult, schedule_blocks, simulate
 from .partition import BlockProfile, make_blocks, profile_blocks
 
@@ -9,6 +14,7 @@ __all__ = [
     "profile_blocks",
     "BlockProfile",
     "evaluate_parallel",
+    "evaluate_plan_parallel",
     "ParallelResult",
     "original_points",
     "MachineModel",

@@ -44,6 +44,7 @@ from ..multipole.expansion import m2p_rows
 from ..multipole.harmonics import term_count
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
+from ..perf.scatter import scatter_add
 from ..robust.faults import maybe_corrupt, maybe_fault, suppress_faults
 from ..robust.guards import check_finite
 from ..robust.retry import RetryExhausted, RetryPolicy, retry_call
@@ -53,6 +54,7 @@ __all__ = [
     "ParallelResult",
     "BlockEvaluationError",
     "evaluate_parallel",
+    "evaluate_plan_parallel",
     "original_points",
 ]
 
@@ -291,6 +293,117 @@ def evaluate_parallel(
         wall_time=wall,
         n_threads=n_threads,
         n_blocks=len(blocks),
+        stats=stats,
+        n_retries=recovery["retries"],
+        n_fallbacks=recovery["fallbacks"],
+    )
+
+
+def evaluate_plan_parallel(
+    plan,
+    charges: np.ndarray,
+    n_threads: int = 4,
+    retry: RetryPolicy | None = None,
+) -> ParallelResult:
+    """Execute a :class:`~repro.perf.plan.CompiledPlan` with its work
+    units (far-field chunks + near-field dense blocks) spread over a
+    thread pool.
+
+    Coefficient formation is serial (it is one segmented GEMV); the
+    independent, read-only evaluation units then run concurrently and
+    their ``(targets, values)`` contributions are merged on the
+    coordinating thread in deterministic unit order, so the result is
+    bitwise-reproducible across thread counts and equals
+    ``plan.execute(charges).potential`` exactly.  Potential only —
+    gradient/bound plans still execute, contributing just their
+    potential parts.
+
+    Fault tolerance matches :func:`evaluate_parallel`: each unit runs
+    under the ``parallel.block`` injection site with a
+    :class:`~repro.robust.RetryPolicy`, and a unit that exhausts its
+    retries is recomputed serially with fault injection suppressed —
+    identical arithmetic, so recovery does not perturb the result.
+    """
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    policy = RetryPolicy() if retry is None else retry
+    q_sorted = plan.sort_charges(charges)
+    n_units = plan.n_units
+    recovery = {"retries": 0, "fallbacks": 0}
+    recovery_lock = Lock()
+
+    sw = stopwatch("parallel.plan_execute", threads=n_threads, units=n_units)
+    with sw:
+        ctx = plan.form_coefficients(q_sorted)
+
+        def attempt_unit(i: int):
+            maybe_fault("parallel.block")  # injected error/hang sites
+            tids, vals = plan.execute_unit(ctx, q_sorted, i)
+            vals = maybe_corrupt("parallel.block", vals)
+            check_finite("parallel.block", vals, context="plan unit output")
+            return tids, vals
+
+        def run_unit(i: int):
+            with span("parallel.block", unit=i) as sp:
+                fellback = False
+                try:
+                    (tids, vals), attempts = retry_call(
+                        lambda: attempt_unit(i),
+                        policy,
+                        site="parallel.block",
+                        seed=i,
+                    )
+                except RetryExhausted as exc:
+                    attempts = policy.max_retries + 1
+                    fellback = True
+                    # same arithmetic, injection suppressed -> identical
+                    with suppress_faults():
+                        try:
+                            with span("robust.fallback", kind="plan_unit", unit=i):
+                                tids, vals = plan.execute_unit(ctx, q_sorted, i)
+                            check_finite(
+                                "parallel.fallback", vals, context="plan unit redo"
+                            )
+                            REGISTRY.counter(
+                                "block_fallbacks",
+                                "blocks recovered via graceful degradation",
+                            ).inc()
+                        except Exception as final:
+                            raise BlockEvaluationError(
+                                f"plan unit {i} failed {attempts} attempts and "
+                                f"the suppressed-fault fallback: {final}"
+                            ) from exc
+                with recovery_lock:
+                    recovery["retries"] += attempts - 1
+                    recovery["fallbacks"] += int(fellback)
+            if is_enabled():
+                REGISTRY.histogram(
+                    "parallel_block_seconds", "wall time per worker block"
+                ).observe(sp.elapsed)
+            return tids, vals
+
+        phi = np.zeros(plan.n_targets, dtype=np.float64)
+        if n_threads == 1:
+            results = map(run_unit, range(n_units))
+            for tids, vals in results:
+                scatter_add(phi, tids, vals)
+        else:
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                # pool.map preserves unit order -> deterministic merge
+                for tids, vals in pool.map(run_unit, range(n_units)):
+                    scatter_add(phi, tids, vals)
+        phi, _, _ = plan.finalize(phi)
+    wall = sw.elapsed
+
+    stats = plan._clone_stats()
+    stats.eval_time = wall
+    if is_enabled():
+        record_eval_metrics(stats)
+    return ParallelResult(
+        potential=phi,
+        wall_time=wall,
+        n_threads=n_threads,
+        n_blocks=n_units,
         stats=stats,
         n_retries=recovery["retries"],
         n_fallbacks=recovery["fallbacks"],

@@ -1,0 +1,630 @@
+r"""Compiled evaluation plans: geometry-frozen GEMM matvecs.
+
+The treecode's evaluation cost per application splits into a
+*geometry-dependent* part (spherical harmonics, Legendre recurrences,
+power tables, near-field ``1/r`` kernels — functions of positions only)
+and a *charge-dependent* part (multiplying those tables by the charges
+and summing).  Iterative callers — the BEM matvec inside GMRES, charge
+sweeps over a fixed cloud — re-derive the geometry part on every
+application even though only the charges change.
+
+A :class:`CompiledPlan` freezes a built :class:`~repro.core.treecode.Treecode`
+plus cached :class:`~repro.core.treecode.InteractionLists` into dense
+operators so each subsequent application is pure linear algebra:
+
+* **P2M transfer operators** — for every node referenced by the far
+  list, the geometry rows ``rho^n conj(Y_n^m)`` of its particle slice
+  are materialized once; ``execute`` forms all multipole coefficients
+  with one segmented GEMV (``q``-scale + ``add.reduceat``) per degree
+  group, replacing the full harmonics recomputation of
+  :meth:`~repro.core.treecode.Treecode.set_charges`.
+* **Far-field row matrices** — per degree group, the evaluation rows
+  ``w · Y_n^m(x) / r^{n+1}`` of every (cluster, target) pair are
+  precomputed; a matvec reduces to a coefficient gather plus one
+  row-wise contraction per chunk.  Rows are materialized under a
+  configurable **memory budget**; chunks over budget *spill* to
+  on-the-fly evaluation (still reusing the planned coefficients).
+* **Near-field block kernels** — each leaf/target block's dense
+  ``1/r`` matrix (self-exclusion and softening baked in) is assembled
+  once into a block-CSR-style list; a matvec does one small GEMV per
+  block.  Also budget-gated.
+* **Bincount scatter** — per-target accumulation uses
+  :func:`~repro.perf.scatter.scatter_add` instead of ``np.add.at``.
+
+Results agree with the un-planned path to rounding (``<= 1e-12``),
+including gradients, Theorem-1 bound accumulation and
+:class:`~repro.core.treecode.TreecodeStats` interaction counts (which
+are exactly equal — they are frozen at compile time).
+
+Invalidation rules: a plan is tied to the identity of its
+:class:`~repro.core.treecode.Treecode` (whose geometry is immutable
+after construction) and to the lists/targets it was compiled from.
+``set_charges`` on the treecode does **not** invalidate a plan —
+``execute`` takes the charge vector explicitly and touches no treecode
+state.  Any geometry change means a new ``Treecode`` and therefore a
+new plan.
+
+Fault-tolerance parity: planned coefficient formation passes through
+the same ``treecode.coeffs`` injection site and NaN/Inf guard as the
+upward pass, and the output potential runs the same final guards, so a
+fault injected during plan execution degrades exactly like the
+un-planned path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bounds import theorem1_bound
+from ..core.treecode import (
+    _FAR_CHUNK,
+    _NEAR_BUDGET,
+    InteractionLists,
+    Treecode,
+    TreecodeResult,
+    TreecodeStats,
+    record_eval_metrics,
+)
+from ..multipole.expansion import m2p_rows, m_weights
+from ..multipole.gradient import m2p_grad_rows
+from ..multipole.harmonics import (
+    cart_to_sph,
+    degree_of_index,
+    ncoef,
+    norm_table,
+    power_table,
+    sph_harmonics,
+    term_count,
+)
+from ..multipole.legendre import legendre_theta_derivative_table
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span, stopwatch
+from ..robust.faults import maybe_corrupt
+from ..robust.guards import check_bound_accounting, check_finite
+from .scatter import scatter_add
+
+__all__ = ["CompiledPlan", "compile_plan", "DEFAULT_MEMORY_BUDGET"]
+
+#: Default cap on precomputed far-row + near-kernel bytes; beyond it,
+#: chunks spill to on-the-fly evaluation.  P2M transfer operators are
+#: always resident (they are what makes ``set_charges`` cheap) and are
+#: counted in :attr:`CompiledPlan.memory_bytes` but not budget-gated.
+DEFAULT_MEMORY_BUDGET = 512 * 1024 * 1024
+
+
+def _p2m_geometry(rel: np.ndarray, p: int) -> np.ndarray:
+    """Per-particle P2M rows ``rho^n conj(Y_n^m)`` — the geometry factor
+    of :func:`repro.multipole.expansion.p2m_terms`."""
+    rho, ct, phi = cart_to_sph(rel)
+    Y = sph_harmonics(ct, phi, p)
+    ns, _ = degree_of_index(p)
+    rpow = power_table(rho, p)[:, ns]
+    return rpow * np.conj(Y)
+
+
+@dataclass
+class _P2MGroup:
+    """Segmented P2M transfer operator for one degree group."""
+
+    p: int
+    nodes: np.ndarray  #: node ids, sorted (coefficient row order)
+    pidx: np.ndarray  #: flattened particle indices (Morton-sorted space)
+    seg: np.ndarray  #: ``add.reduceat`` segment starts, one per node
+    G: np.ndarray  #: (rows, ncoef(p)) complex geometry rows
+
+
+@dataclass
+class _FarChunk:
+    """One far-field evaluation chunk (<= ``_FAR_CHUNK`` pairs)."""
+
+    p: int
+    tids: np.ndarray  #: target index per pair
+    rows: np.ndarray  #: coefficient-row index into the degree group
+    nodes: np.ndarray  #: node id per pair (lazy eval + bound geometry)
+    Rre: np.ndarray | None = None  #: w·Re(Y)/r^{n+1} rows (None = spilled)
+    Rim: np.ndarray | None = None
+    grad: tuple | None = None  #: (A, B, D, st, ct, cp, sp) gradient rows
+    bgeom: np.ndarray | None = None  #: Theorem-1 factor at unit charge
+    levels: np.ndarray | None = None  #: cluster tree level per pair
+
+
+@dataclass
+class _NearBlock:
+    """One near-field dense block (<= ``_NEAR_BUDGET`` products)."""
+
+    tids: np.ndarray  #: target indices of the block
+    s: int  #: source slice start (Morton-sorted space)
+    e: int  #: source slice end
+    n_excluded: int  #: self-pairs excluded (frozen into the kernels)
+    K: np.ndarray | None = None  #: (t, e-s) 1/r kernel (None = spilled)
+    D3: np.ndarray | None = None  #: (t, e-s, 3) gradient kernel
+    excl: np.ndarray | None = None  #: per-target excluded source (lazy)
+
+
+def _far_chunk_rows(rel: np.ndarray, p: int):
+    """Potential row matrices for one chunk: the geometry factors of
+    :func:`~repro.multipole.expansion.m2p_rows` with the real-part
+    weights folded in."""
+    r, ct, phi = cart_to_sph(rel)
+    Y = sph_harmonics(ct, phi, p)
+    ns, _ = degree_of_index(p)
+    rinv = 1.0 / r
+    rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
+    w = m_weights(p)
+    return Y.real * rpow * w, Y.imag * rpow * w, r
+
+
+def _far_chunk_grad(rel: np.ndarray, p: int):
+    """Gradient row matrices: the geometry factors of
+    :func:`~repro.multipole.gradient.m2p_grad_rows`, with the weights,
+    ``1/r`` scales and azimuthal ``1/sinθ`` guard folded in."""
+    r, ct, phi = cart_to_sph(rel)
+    ns, ms = degree_of_index(p)
+    norms = norm_table(p)
+    P, dP = legendre_theta_derivative_table(ct, p)
+    e = np.exp(1j * phi[:, None] * np.arange(p + 1))
+    Y = P[:, ns, ms] * norms * e[:, ms]
+    dY = dP[:, ns, ms] * norms * e[:, ms]
+    w = m_weights(p)
+    rinv = 1.0 / r
+    rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
+    st = np.sqrt(np.maximum(0.0, 1.0 - ct * ct))
+    st_safe = np.maximum(st, 1e-12)
+    A = Y * rpow * (-(ns + 1)) * w * rinv[:, None]
+    B = dY * rpow * w * rinv[:, None]
+    D = Y * rpow * (ms * w) * (rinv / st_safe)[:, None]
+    return A, B, D, st, ct, np.cos(phi), np.sin(phi)
+
+
+def _sph_to_cart(dr, dth, dph, st, ct, cp, sp):
+    gx = dr * st * cp + dth * ct * cp - dph * sp
+    gy = dr * st * sp + dth * ct * sp + dph * cp
+    gz = dr * ct - dth * st
+    return np.stack([gx, gy, gz], axis=-1)
+
+
+def _near_kernel(tgt_blk, src, excl, softening):
+    """Dense ``1/sqrt(r²+ε²)`` block with self-exclusion baked in —
+    the frozen matrix behind :func:`repro.direct.pairwise_potential`."""
+    d = tgt_blk[:, None, :] - src[None, :, :]
+    r2 = np.einsum("tsi,tsi->ts", d, d) + softening * softening
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / np.sqrt(r2)
+    inv[r2 == 0.0] = 0.0
+    if excl is not None:
+        rows = np.nonzero(excl >= 0)[0]
+        inv[rows, excl[rows]] = 0.0
+    return inv, d, r2
+
+
+class CompiledPlan:
+    """Frozen geometry operators for repeated charge applications.
+
+    Build with :func:`compile_plan` or
+    :meth:`repro.core.treecode.Treecode.compile_plan`; apply with
+    :meth:`execute`.  The plan holds *no* charge state: ``execute`` is a
+    pure function of the charge vector, so one plan serves any number of
+    interleaved matvecs (GMRES iterations, sweep points) on the same
+    geometry.
+
+    Attributes
+    ----------
+    memory_bytes:
+        Total bytes of materialized operators (P2M transfer rows,
+        far-field row matrices, near-field kernels, index arrays).
+    n_far_precomputed, n_far_spilled:
+        Far chunks materialized vs. spilled to on-the-fly evaluation
+        under the memory budget.
+    n_near_precomputed, n_near_spilled:
+        Same split for near-field blocks.
+    compile_time:
+        Wall seconds spent compiling.
+    """
+
+    def __init__(
+        self,
+        tc: Treecode,
+        lists: InteractionLists,
+        tgt: np.ndarray,
+        self_targets: bool = False,
+        compute: str = "potential",
+        accumulate_bounds: bool = False,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    ) -> None:
+        if compute not in ("potential", "both"):
+            raise ValueError(f"compute must be 'potential' or 'both', got {compute!r}")
+        tgt = np.asarray(tgt, dtype=np.float64)
+        if tgt.ndim != 2 or tgt.shape[1] != 3:
+            raise ValueError(f"targets must have shape (t, 3), got {tgt.shape}")
+        self.tc = tc
+        self.tgt = tgt
+        self.self_targets = bool(self_targets)
+        self.compute = compute
+        self.accumulate_bounds = bool(accumulate_bounds)
+        self.memory_budget = int(memory_budget)
+        with stopwatch("plan.compile", targets=int(tgt.shape[0])) as sw:
+            self._compile(lists)
+        self.compile_time = sw.elapsed
+        if is_enabled():
+            REGISTRY.counter("plan_compiles", "evaluation plans compiled").inc()
+            REGISTRY.gauge(
+                "plan_memory_bytes", "materialized bytes of the most recent plan"
+            ).set(self.memory_bytes)
+
+    # -- compilation ---------------------------------------------------
+    def _compile(self, lists: InteractionLists) -> None:
+        tc, tree, tgt = self.tc, self.tc.tree, self.tgt
+        grad_wanted = self.compute == "both"
+        mem = 0
+        budget_used = 0
+
+        # ---- far field: degree grouping identical to evaluate_lists ----
+        fn, ft = lists.far_nodes, lists.far_targets
+        self._p2m_groups: list[_P2MGroup] = []
+        self._far_chunks: list[_FarChunk] = []
+        stats = TreecodeStats(n_targets=int(tgt.shape[0]))
+        if fn.size:
+            pdeg = tc.p_eval[fn]
+            order = np.argsort(pdeg, kind="stable")
+            fn, ft, pdeg = fn[order], ft[order], pdeg[order]
+            uniq, starts = np.unique(pdeg, return_index=True)
+            bnds = list(starts) + [fn.size]
+            for u, (lo, hi) in zip(uniq, zip(bnds[:-1], bnds[1:])):
+                p = int(u)
+                nodes_g, tids_g = fn[lo:hi], ft[lo:hi]
+                npairs = hi - lo
+                stats.n_pc_interactions += npairs
+                stats.n_terms += npairs * term_count(p)
+                stats.interactions_by_degree[p] = (
+                    stats.interactions_by_degree.get(p, 0) + npairs
+                )
+                # P2M transfer operator over this group's unique nodes
+                un = np.unique(nodes_g)
+                rows_g = np.searchsorted(un, nodes_g)
+                counts = (tree.end[un] - tree.start[un]).astype(np.int64)
+                cum = np.concatenate([[0], np.cumsum(counts)])
+                total = int(cum[-1])
+                pidx = (
+                    np.arange(total)
+                    - np.repeat(cum[:-1], counts)
+                    + np.repeat(tree.start[un], counts)
+                )
+                owner = np.repeat(np.arange(un.size), counts)
+                nc = ncoef(p)
+                G = np.empty((total, nc), dtype=np.complex128)
+                row_budget = max(1, 4_000_000 // max(nc, 1))
+                centers = tree.center_exp[un]
+                for glo in range(0, total, row_budget):
+                    ghi = min(glo + row_budget, total)
+                    rel = tree.points[pidx[glo:ghi]] - centers[owner[glo:ghi]]
+                    G[glo:ghi] = _p2m_geometry(rel, p)
+                seg = cum[:-1]
+                self._p2m_groups.append(
+                    _P2MGroup(p=p, nodes=un, pidx=pidx, seg=seg, G=G)
+                )
+                mem += G.nbytes + pidx.nbytes + seg.nbytes + un.nbytes
+
+                for clo in range(0, npairs, _FAR_CHUNK):
+                    chi = min(clo + _FAR_CHUNK, npairs)
+                    k = chi - clo
+                    tids_c = tids_g[clo:chi]
+                    rows_c = rows_g[clo:chi]
+                    nodes_c = nodes_g[clo:chi]
+                    mem += tids_c.nbytes + rows_c.nbytes + nodes_c.nbytes
+                    cost = 2 * k * nc * 8
+                    if grad_wanted:
+                        cost += 3 * k * nc * 16 + 4 * k * 8
+                    if self.accumulate_bounds:
+                        cost += k * 8 + k * tree.level.dtype.itemsize
+                    ch = _FarChunk(p=p, tids=tids_c, rows=rows_c, nodes=nodes_c)
+                    if budget_used + cost <= self.memory_budget:
+                        rel = tgt[tids_c] - tree.center_exp[nodes_c]
+                        ch.Rre, ch.Rim, r = _far_chunk_rows(rel, p)
+                        if grad_wanted:
+                            ch.grad = _far_chunk_grad(rel, p)
+                        if self.accumulate_bounds:
+                            ch.bgeom = theorem1_bound(
+                                1.0, tree.radius[nodes_c], r, p
+                            )
+                            ch.levels = tree.level[nodes_c]
+                        budget_used += cost
+                        mem += cost
+                    self._far_chunks.append(ch)
+            lev = tree.level[fn]
+            cnt = np.bincount(lev)
+            for L, c in enumerate(cnt):
+                if c:
+                    stats.interactions_by_level[L] = int(c)
+
+        # ---- near field: dense blocks per leaf -------------------------
+        self._near_blocks: list[_NearBlock] = []
+        for leaf, tids in lists.near:
+            s, e = int(tree.start[leaf]), int(tree.end[leaf])
+            cnt = e - s
+            if cnt == 0:
+                continue
+            step = max(1, _NEAR_BUDGET // cnt)
+            src = tree.points[s:e]
+            for lo in range(0, tids.size, step):
+                blk = tids[lo : lo + step]
+                if self.self_targets:
+                    excl = np.where((blk >= s) & (blk < e), blk - s, -1)
+                    n_excl = int(np.count_nonzero(excl >= 0))
+                else:
+                    excl = None
+                    n_excl = 0
+                stats.n_pp_pairs += blk.size * cnt - n_excl
+                nb = _NearBlock(tids=blk, s=s, e=e, n_excluded=n_excl, excl=excl)
+                mem += blk.nbytes + (excl.nbytes if excl is not None else 0)
+                cost = blk.size * cnt * 8
+                if grad_wanted:
+                    cost += blk.size * cnt * 3 * 8
+                if budget_used + cost <= self.memory_budget:
+                    K, d, r2 = _near_kernel(tgt[blk], src, excl, tc.softening)
+                    nb.K = K
+                    if grad_wanted:
+                        with np.errstate(divide="ignore"):
+                            wg = 1.0 / (r2 * np.sqrt(r2))
+                        wg[r2 == 0.0] = 0.0
+                        if excl is not None:
+                            rws = np.nonzero(excl >= 0)[0]
+                            wg[rws, excl[rws]] = 0.0
+                        nb.D3 = wg[..., None] * d
+                    budget_used += cost
+                    mem += cost
+                self._near_blocks.append(nb)
+
+        self._static_stats = stats
+        self.memory_bytes = int(mem)
+        self.n_far_precomputed = sum(1 for c in self._far_chunks if c.Rre is not None)
+        self.n_far_spilled = len(self._far_chunks) - self.n_far_precomputed
+        self.n_near_precomputed = sum(1 for b in self._near_blocks if b.K is not None)
+        self.n_near_spilled = len(self._near_blocks) - self.n_near_precomputed
+
+    # -- execution -----------------------------------------------------
+    @property
+    def n_targets(self) -> int:
+        return int(self.tgt.shape[0])
+
+    @property
+    def n_units(self) -> int:
+        """Independent work units (far chunks + near blocks) — the
+        granularity the parallel executor schedules at."""
+        return len(self._far_chunks) + len(self._near_blocks)
+
+    def _clone_stats(self) -> TreecodeStats:
+        s = self._static_stats
+        return TreecodeStats(
+            n_targets=s.n_targets,
+            n_pc_interactions=s.n_pc_interactions,
+            n_pp_pairs=s.n_pp_pairs,
+            n_terms=s.n_terms,
+            interactions_by_degree=dict(s.interactions_by_degree),
+            interactions_by_level=dict(s.interactions_by_level),
+        )
+
+    def sort_charges(self, charges: np.ndarray) -> np.ndarray:
+        """Validate a charge vector and return it in Morton order."""
+        charges = np.asarray(charges, dtype=np.float64)
+        n = self.tc.tree.n_particles
+        if charges.shape != (n,):
+            raise ValueError(f"charges must have shape ({n},), got {charges.shape}")
+        return charges[self.tc.tree.perm]
+
+    def form_coefficients(self, q_sorted: np.ndarray) -> dict:
+        """Charge-dependent stage 1: multipole coefficients (and, when
+        bounds are compiled, absolute cluster charges) per degree group,
+        via segmented GEMVs over the frozen P2M rows.
+
+        Passes the ``treecode.coeffs`` fault-injection site and NaN/Inf
+        guard, exactly like the un-planned upward pass.
+        """
+        ctx: dict = {}
+        with span("plan.p2m", groups=len(self._p2m_groups)):
+            for g in self._p2m_groups:
+                qg = q_sorted[g.pidx]
+                C = np.add.reduceat(qg[:, None] * g.G, g.seg, axis=0)
+                C = maybe_corrupt("treecode.coeffs", C)
+                check_finite(
+                    "treecode.coeffs", C, context="planned multipole coefficients"
+                )
+                A = (
+                    np.add.reduceat(np.abs(qg), g.seg)
+                    if self.accumulate_bounds
+                    else None
+                )
+                ctx[g.p] = (C, A)
+        return ctx
+
+    def _far_unit(self, ctx, i, phi, grad, bound, stats):
+        ch = self._far_chunks[i]
+        C_all, A_all = ctx[ch.p]
+        C = C_all[ch.rows]
+        tree = self.tc.tree
+        if ch.Rre is not None:
+            vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
+                "tc,tc->t", ch.Rim, C.imag
+            )
+            rel = None
+        else:  # spilled: evaluate geometry on the fly (planned coeffs)
+            rel = self.tgt[ch.tids] - tree.center_exp[ch.nodes]
+            vals = m2p_rows(C, rel, ch.p)
+        scatter_add(phi, ch.tids, vals)
+        if grad is not None:
+            if ch.grad is not None:
+                # w is folded into A/B/D at compile time; use raw C here
+                A, B, D, st, ct, cp, sp = ch.grad
+                d_r = np.real(np.einsum("tc,tc->t", A, C))
+                d_th = np.real(np.einsum("tc,tc->t", B, C))
+                d_ph = -np.imag(np.einsum("tc,tc->t", D, C))
+                gv = _sph_to_cart(d_r, d_th, d_ph, st, ct, cp, sp)
+            else:
+                gv = m2p_grad_rows(C, rel, ch.p)
+            scatter_add(grad, ch.tids, gv)
+        if bound is not None:
+            Anode = A_all[ch.rows]
+            if ch.bgeom is not None:
+                b = Anode * ch.bgeom
+                levels = ch.levels
+            else:
+                r = np.sqrt(np.einsum("ij,ij->i", rel, rel))
+                b = theorem1_bound(Anode, tree.radius[ch.nodes], r, ch.p)
+                levels = tree.level[ch.nodes]
+            scatter_add(bound, ch.tids, b)
+            lsum = np.bincount(levels, weights=b)
+            for L, s_ in enumerate(lsum):
+                if s_:
+                    stats.bound_by_level[L] = stats.bound_by_level.get(L, 0.0) + float(
+                        s_
+                    )
+
+    def _near_unit(self, q_sorted, i, phi, grad):
+        nb = self._near_blocks[i]
+        qs = q_sorted[nb.s : nb.e]
+        if nb.K is not None:
+            phi[nb.tids] += nb.K @ qs
+            if grad is not None:
+                grad[nb.tids] += -np.einsum("tsi,s->ti", nb.D3, qs)
+        else:  # spilled: dense block on the fly
+            from ..direct import pairwise_potential
+            from ..core.treecode import _near_gradient
+
+            src = self.tc.tree.points[nb.s : nb.e]
+            phi[nb.tids] += pairwise_potential(
+                self.tgt[nb.tids], src, qs, exclude=nb.excl,
+                softening=self.tc.softening,
+            )
+            if grad is not None:
+                grad[nb.tids] += _near_gradient(
+                    self.tgt[nb.tids], src, qs, nb.excl,
+                    softening=self.tc.softening,
+                )
+
+    def execute_unit(self, ctx, q_sorted, i):
+        """Evaluate one work unit in isolation; returns the potential
+        contribution as ``(target_indices, values)``.  Used by the
+        parallel executor, which schedules units across threads and
+        merges in deterministic unit order."""
+        nf = len(self._far_chunks)
+        if i < nf:
+            ch = self._far_chunks[i]
+            C = ctx[ch.p][0][ch.rows]
+            if ch.Rre is not None:
+                vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
+                    "tc,tc->t", ch.Rim, C.imag
+                )
+            else:
+                rel = self.tgt[ch.tids] - self.tc.tree.center_exp[ch.nodes]
+                vals = m2p_rows(C, rel, ch.p)
+            return ch.tids, vals
+        nb = self._near_blocks[i - nf]
+        qs = q_sorted[nb.s : nb.e]
+        if nb.K is not None:
+            return nb.tids, nb.K @ qs
+        from ..direct import pairwise_potential
+
+        vals = pairwise_potential(
+            self.tgt[nb.tids],
+            self.tc.tree.points[nb.s : nb.e],
+            qs,
+            exclude=nb.excl,
+            softening=self.tc.softening,
+        )
+        return nb.tids, vals
+
+    def finalize(self, phi, grad=None, bound=None, stats=None):
+        """Common epilogue: un-sort self-target results back to input
+        order and run the output guards."""
+        if self.self_targets:
+            inv = self.tc.tree.perm
+            out = np.empty_like(phi)
+            out[inv] = phi
+            phi = out
+            if grad is not None:
+                og = np.empty_like(grad)
+                og[inv] = grad
+                grad = og
+            if bound is not None:
+                ob = np.empty_like(bound)
+                ob[inv] = bound
+                bound = ob
+        check_finite("treecode.potential", phi, context="planned potential")
+        if bound is not None and stats is not None:
+            check_bound_accounting("treecode.bounds", bound, stats.bound_by_level)
+        return phi, grad, bound
+
+    def execute(self, charges: np.ndarray) -> TreecodeResult:
+        """Apply the frozen operators to a charge vector.
+
+        Equivalent to ``tc.set_charges(charges)`` followed by
+        ``tc.evaluate_lists(...)`` with the compiled configuration, but
+        without touching any treecode state; agreement is to rounding
+        (``<= 1e-12``).
+        """
+        q_sorted = self.sort_charges(charges)
+        obs_on = is_enabled()
+        nt = self.n_targets
+        with span("plan.execute", targets=nt, units=self.n_units):
+            sw = stopwatch("plan.eval").__enter__()
+            phi = np.zeros(nt, dtype=np.float64)
+            grad = (
+                np.zeros((nt, 3), dtype=np.float64)
+                if self.compute == "both"
+                else None
+            )
+            bound = (
+                np.zeros(nt, dtype=np.float64) if self.accumulate_bounds else None
+            )
+            stats = self._clone_stats()
+            ctx = self.form_coefficients(q_sorted)
+            with span("plan.far_field", chunks=len(self._far_chunks)):
+                for i in range(len(self._far_chunks)):
+                    self._far_unit(ctx, i, phi, grad, bound, stats)
+            with span("plan.near_field", blocks=len(self._near_blocks)):
+                for i in range(len(self._near_blocks)):
+                    self._near_unit(q_sorted, i, phi, grad)
+            sw.__exit__(None, None, None)
+            stats.eval_time = sw.elapsed
+            if obs_on:
+                REGISTRY.counter("plan_executes", "compiled-plan applications").inc()
+                record_eval_metrics(stats)
+            phi, grad, bound = self.finalize(phi, grad, bound, stats)
+        return TreecodeResult(
+            potential=phi, gradient=grad, error_bound=bound, stats=stats
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the compiled structure."""
+        return (
+            f"CompiledPlan(targets={self.n_targets}, "
+            f"far={self.n_far_precomputed}+{self.n_far_spilled} spilled, "
+            f"near={self.n_near_precomputed}+{self.n_near_spilled} spilled, "
+            f"{self.memory_bytes / 1e6:.1f} MB, "
+            f"compile {self.compile_time * 1e3:.1f} ms)"
+        )
+
+
+def compile_plan(
+    tc: Treecode,
+    lists: InteractionLists,
+    tgt: np.ndarray,
+    self_targets: bool = False,
+    compute: str = "potential",
+    accumulate_bounds: bool = False,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+) -> CompiledPlan:
+    """Freeze a treecode + interaction lists into a :class:`CompiledPlan`.
+
+    Equivalent to :meth:`repro.core.treecode.Treecode.compile_plan`.
+    """
+    return CompiledPlan(
+        tc,
+        lists,
+        tgt,
+        self_targets=self_targets,
+        compute=compute,
+        accumulate_bounds=accumulate_bounds,
+        memory_budget=memory_budget,
+    )
