@@ -1,19 +1,29 @@
-"""Benchmark the compiled-plan matvec path against the un-planned path.
+"""Benchmark the compiled-plan matvec paths against the un-planned path.
 
-Writes machine-readable results to ``BENCH_3.json`` at the repo root:
-treecode matvec latency at n in {2k, 10k, 50k} (compile time, plan
-memory, speedup, max abs difference) plus a BEM block at ~10k panels
-where the second and later applications must be >= 3x faster than the
-un-planned ``set_charges`` + ``evaluate_lists`` path.
+Two benchmark suites share this driver:
+
+* **BENCH_3** (target-major plans) — treecode matvec latency at n in
+  {2k, 10k, 50k} plus a BEM block at ~10k panels where the second and
+  later applications must be >= 3x faster than the un-planned path.
+* **BENCH_4** (cluster-cluster plans) — the dual-traversal
+  ``mode="cluster"`` plan at n=50k must beat the un-planned matvec by
+  >= 4x inside the 512 MiB default budget with zero far spills, stay
+  within its own Theorem-1 ledger of a sampled direct sum, and agree
+  with the target-major plan within the two ledgers combined.
 
 Run standalone (pytest-free so CI can gate on the exit code)::
 
-    PYTHONPATH=src python benchmarks/bench_plan.py           # full, writes BENCH_3.json
-    PYTHONPATH=src python benchmarks/bench_plan.py --smoke   # small CI smoke check
+    PYTHONPATH=src python benchmarks/bench_plan.py               # BENCH_3.json
+    PYTHONPATH=src python benchmarks/bench_plan.py --smoke       # BENCH_3 smoke
+    PYTHONPATH=src python benchmarks/bench_plan.py --mode full   # BENCH_4.json
+    PYTHONPATH=src python benchmarks/bench_plan.py --mode smoke  # BENCH_4 CI gate
 
-``--smoke`` compiles a small plan (n=5000), runs 5 matvecs through both
-paths, and exits non-zero unless the compiled path is no slower than the
-fallback and agrees to 1e-12.
+``--smoke`` compiles a small target-major plan (n=5000), runs 5 matvecs
+through both paths, and exits non-zero unless the compiled path is no
+slower than the fallback and agrees to 1e-12.  ``--mode smoke`` compiles
+a cluster plan at n=8000, projects its memory to the n=50k scale, and
+exits non-zero if the projection exceeds the 512 MiB budget or the
+speedup over the un-planned path is below 2x.
 """
 
 from __future__ import annotations
@@ -110,6 +120,74 @@ def bench_bem(resolution: int, repeats: int, n_gauss: int = 6, alpha: float = 0.
     }
 
 
+def bench_cluster(
+    n: int,
+    repeats: int,
+    alpha: float = 0.5,
+    p0: int = 4,
+    sample: int = 200,
+    check_vs_pc: bool = False,
+) -> dict:
+    """Cluster-cluster plan vs the un-planned matvec at one size.
+
+    Timing uses bounds-free runs of both paths; correctness is judged
+    separately with bounds-enabled runs — the cluster result must sit
+    within its own Theorem-1 ledger of a sampled direct sum, and within
+    the combined ledgers of the target-major (particle-cluster) result.
+    """
+    from repro.direct import pairwise_potential
+
+    pts = make_distribution("uniform", n, seed=n)
+    q = unit_charges(n, seed=n + 1, signed=True)
+    q2 = unit_charges(n, seed=n + 2, signed=True)
+    tc = Treecode(pts, q, degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha), alpha=alpha)
+    lists = tc.traverse(tc.tree.points, self_targets=True)
+
+    def fallback():
+        tc.set_charges(q2)
+        return tc.evaluate_lists(lists, tc.tree.points, self_targets=True)
+
+    t_fb, _ = _time_best(fallback, repeats)
+    plan = tc.compile_plan(mode="cluster")
+    t_plan, _ = _time_best(lambda: plan.execute(q2), repeats)
+
+    # correctness: bounds-enabled cluster run vs a sampled direct sum
+    bplan = tc.compile_plan(mode="cluster", accumulate_bounds=True)
+    bres = bplan.execute(q2)
+    idx = np.unique(np.linspace(0, n - 1, sample).astype(np.int64))
+    exact = pairwise_potential(pts[idx], pts, q2, exclude=idx)
+    err_direct = np.abs(bres.potential[idx] - exact)
+    ok_direct = bool(np.all(err_direct <= bres.error_bound[idx] + TOL))
+
+    row = {
+        "n": n,
+        "compile_s": plan.compile_time,
+        "plan_mb": plan.memory_bytes / 1e6,
+        "box_pairs": plan.n_box_pairs,
+        "far_spilled": plan.n_far_spilled,
+        "near_spilled": plan.n_near_spilled,
+        "fallback_matvec_s": t_fb,
+        "plan_matvec_s": t_plan,
+        "speedup": t_fb / t_plan,
+        "direct_sample_within_ledger": ok_direct,
+        "direct_sample_max_err": float(np.max(err_direct)),
+        "direct_sample_min_headroom": float(
+            np.min(bres.error_bound[idx] - err_direct)
+        ),
+    }
+    if check_vs_pc:
+        tc.set_charges(q2)
+        pc = tc.evaluate_lists(
+            lists, tc.tree.points, self_targets=True, accumulate_bounds=True
+        )
+        gap = np.abs(bres.potential - pc.potential)
+        budget = bres.error_bound + pc.error_bound
+        row["pc_within_combined_ledgers"] = bool(np.all(gap <= budget + TOL))
+        row["pc_max_gap"] = float(np.max(gap))
+        row["pc_min_headroom"] = float(np.min(budget - gap))
+    return row
+
+
 def run_full(out_path: pathlib.Path) -> int:
     report = {"bench": "BENCH_3", "mode": "full", "treecode": [], "bem": None}
     for n, repeats in ((2000, 5), (10000, 3), (50000, 1)):
@@ -183,15 +261,122 @@ def run_smoke() -> int:
     return 0
 
 
+def run_full_cluster(out_path: pathlib.Path) -> int:
+    """BENCH_4: cluster-cluster plans at n in {10k, 50k}."""
+    budget_mb = 512 * 1024 * 1024 / 1e6
+    report = {"bench": "BENCH_4", "mode": "full", "treecode_cluster": []}
+    for n, repeats, vs_pc in ((10000, 2, True), (50000, 1, False)):
+        row = bench_cluster(n, repeats, check_vs_pc=vs_pc)
+        report["treecode_cluster"].append(row)
+        print(
+            f"cluster n={n:6d}: fallback {row['fallback_matvec_s'] * 1e3:8.1f} ms, "
+            f"plan {row['plan_matvec_s'] * 1e3:8.1f} ms ({row['speedup']:.1f}x), "
+            f"compile {row['compile_s']:.2f} s, {row['plan_mb']:.0f} MB, "
+            f"{row['box_pairs']} box pairs, "
+            f"direct-in-ledger {row['direct_sample_within_ledger']}"
+            + (
+                f", pc-in-ledgers {row['pc_within_combined_ledgers']}"
+                if vs_pc
+                else ""
+            )
+        )
+    big = report["treecode_cluster"][-1]
+    acceptance = {
+        "speedup_4x_at_50k": big["speedup"] >= 4.0,
+        "memory_within_512mib_at_50k": big["plan_mb"] <= budget_mb,
+        "zero_far_spills": all(
+            r["far_spilled"] == 0 for r in report["treecode_cluster"]
+        ),
+        "direct_sample_within_ledger": all(
+            r["direct_sample_within_ledger"] for r in report["treecode_cluster"]
+        ),
+        "pc_within_combined_ledgers": all(
+            r.get("pc_within_combined_ledgers", True)
+            for r in report["treecode_cluster"]
+        ),
+    }
+    report["acceptance"] = acceptance
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not all(acceptance.values()):
+        failed = [k for k, v in acceptance.items() if not v]
+        print(f"ACCEPTANCE FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_smoke_cluster() -> int:
+    """CI gate for cluster plans: small instance, projected-memory and
+    speedup thresholds.
+
+    Plan memory is dominated by terms linear in the box-pair count and
+    the particle count, and for uniform clouds both grow ~linearly in
+    n, so scaling the measured footprint by 50k/n is a cheap proxy for
+    the n=50k plan the full benchmark builds (approximate — near-field
+    block shapes shift with tree depth; the full suite measures the
+    real footprint).
+    """
+    n = 8000
+    budget = 512 * 1024 * 1024
+    row = bench_cluster(n, repeats=1, check_vs_pc=True)
+    projected_mb = row["plan_mb"] * (50000 / n)
+    print(
+        f"cluster smoke n={n}: fallback {row['fallback_matvec_s']:.2f} s, "
+        f"plan {row['plan_matvec_s']:.2f} s ({row['speedup']:.1f}x), "
+        f"{row['plan_mb']:.0f} MB -> projected {projected_mb:.0f} MB at n=50k"
+    )
+    ok = True
+    if projected_mb > budget / 1e6:
+        print(
+            f"FAIL: projected plan memory {projected_mb:.0f} MB exceeds "
+            f"the {budget / 1e6:.0f} MB budget",
+            file=sys.stderr,
+        )
+        ok = False
+    if row["speedup"] < 2.0:
+        print(f"FAIL: speedup {row['speedup']:.2f}x < 2x", file=sys.stderr)
+        ok = False
+    if row["far_spilled"] != 0:
+        print(f"FAIL: {row['far_spilled']} far spills (expected 0)", file=sys.stderr)
+        ok = False
+    if not row["direct_sample_within_ledger"]:
+        print("FAIL: sampled direct error exceeds the Theorem-1 ledger", file=sys.stderr)
+        ok = False
+    if not row["pc_within_combined_ledgers"]:
+        print(
+            "FAIL: cluster vs target-major gap exceeds the combined ledgers",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("cluster smoke OK")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--smoke", action="store_true", help="small CI smoke check")
     ap.add_argument(
-        "--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_3.json",
+        "--smoke", action="store_true", help="small CI smoke check (BENCH_3)"
+    )
+    ap.add_argument(
+        "--mode",
+        choices=["smoke", "full"],
+        default=None,
+        help="run the BENCH_4 cluster-plan suite: 'smoke' is the CI gate, "
+        "'full' writes BENCH_4.json",
+    )
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=None,
         help="output path for the full report",
     )
     args = ap.parse_args(argv)
-    return run_smoke() if args.smoke else run_full(args.out)
+    if args.mode == "smoke":
+        return run_smoke_cluster()
+    if args.mode == "full":
+        return run_full_cluster(args.out or REPO_ROOT / "BENCH_4.json")
+    if args.smoke:
+        return run_smoke()
+    return run_full(args.out or REPO_ROOT / "BENCH_3.json")
 
 
 if __name__ == "__main__":

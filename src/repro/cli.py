@@ -20,6 +20,10 @@ Observability (see :mod:`repro.obs`):
 The flags also work on plain subcommands, implicitly enabling
 observability for that run.
 
+Parallelism: ``--workers N`` is the single worker-count knob for the
+thread and process executors (it sets ``REPRO_NUM_WORKERS``, which
+:func:`repro.parallel.resolve_workers` reads everywhere).
+
 Fault tolerance (see :mod:`repro.robust`):
 
 * ``--seed N`` makes every subcommand's random instances reproducible
@@ -311,6 +315,14 @@ def main(argv=None) -> int:
         "resumes reproducible end to end",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the parallel executors (thread and process "
+        "backends); overrides REPRO_NUM_WORKERS",
+    )
+    parser.add_argument(
         "--inject-faults",
         metavar="SPEC",
         default=None,
@@ -340,6 +352,15 @@ def main(argv=None) -> int:
         help="with 'profile': write the full RunRecorder JSON report",
     )
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        from .parallel import ENV_WORKERS
+
+        # one knob for every executor: resolve_workers() reads this env
+        # var in this process and in forked pool workers alike
+        os.environ[ENV_WORKERS] = str(args.workers)
 
     if args.inject_faults is not None:
         from .robust import FaultInjector, parse_fault_spec, set_injector

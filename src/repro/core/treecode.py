@@ -656,9 +656,12 @@ class Treecode:
         accumulate_bounds: bool = False,
         memory_budget: int | None = None,
         lists: InteractionLists | None = None,
+        mode: str = "target",
+        rows_dtype=np.float64,
+        n_units: int | None = None,
     ):
-        """Freeze this treecode's geometry into a
-        :class:`~repro.perf.plan.CompiledPlan` for repeated matvecs.
+        """Freeze this treecode's geometry into a compiled plan for
+        repeated matvecs.
 
         ``targets=None`` compiles a self-evaluation plan (targets are the
         source particles, self-interaction excluded, results in input
@@ -666,6 +669,17 @@ class Treecode:
         the traversal.  ``plan.execute(q)`` then equals
         ``set_charges(q)`` + :meth:`evaluate_lists` to rounding, without
         touching this treecode's state.
+
+        ``mode="target"`` builds the target-major
+        :class:`~repro.perf.plan.CompiledPlan` (per-pair far rows);
+        ``mode="cluster"`` builds the dual-traversal
+        :class:`~repro.perf.cluster.ClusterPlan` (box-box M2L into
+        per-leaf local expansions; requires ``targets=None``; ``lists``
+        is not used).  ``rows_dtype=np.float32`` stores far/L2P row
+        matrices in single precision, roughly halving plan memory at the
+        cost of ~1e-7 relative rounding — well inside the Theorem-1
+        truncation ledger.  ``n_units`` controls the number of far work
+        units a cluster plan is split into (parallelism granularity).
         """
         from ..perf.plan import DEFAULT_MEMORY_BUDGET, compile_plan
 
@@ -673,7 +687,13 @@ class Treecode:
         tgt = (
             self.tree.points if self_targets else np.asarray(targets, dtype=np.float64)
         )
-        if lists is None:
+        if mode == "cluster":
+            if not self_targets:
+                raise ValueError(
+                    "mode='cluster' evaluates at the source particles; "
+                    "pass targets=None"
+                )
+        elif lists is None:
             lists = self.traverse(tgt, self_targets)
         return compile_plan(
             self,
@@ -685,6 +705,9 @@ class Treecode:
             memory_budget=(
                 DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
             ),
+            mode=mode,
+            rows_dtype=rows_dtype,
+            n_units=n_units,
         )
 
     # convenience ------------------------------------------------------

@@ -19,7 +19,14 @@ from ..core.degree import AdaptiveChargeDegree, FixedDegree
 from ..core.treecode import Treecode
 from ..data.distributions import make_distribution, unit_charges
 from ..obs.tracing import stopwatch
-from ..parallel import MachineModel, evaluate_parallel, make_blocks, profile_blocks, simulate
+from ..parallel import (
+    MachineModel,
+    evaluate_parallel,
+    make_blocks,
+    profile_blocks,
+    resolve_workers,
+    simulate,
+)
 
 __all__ = ["Table2Row", "run_table2"]
 
@@ -65,11 +72,17 @@ def run_table2(
     w: int = 64,
     p0: int = 4,
     alpha: float = 0.4,
-    n_threads: int = 2,
+    n_threads: int | None = None,
     seed: int = 0,
 ) -> list[Table2Row]:
     """Run both methods on each problem; default instances mirror the
-    paper's uniform40k / non-uniform46k (scaled by the caller)."""
+    paper's uniform40k / non-uniform46k (scaled by the caller).
+
+    ``n_threads=None`` resolves through
+    :func:`~repro.parallel.resolve_workers` (``--workers`` /
+    ``REPRO_NUM_WORKERS``, else 2 here).
+    """
+    n_threads = resolve_workers(n_threads, default=2)
     if problems is None:
         problems = [
             ("uniform10k", "uniform", 10000),

@@ -31,7 +31,7 @@ from ..multipole.harmonics import (
     sph_harmonics,
     term_count,
 )
-from ..multipole.translations import l2l, m2l, m2m
+from ..multipole.translations import l2l, m2l, m2l_operator, m2m
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
 from ..robust.faults import maybe_corrupt
@@ -248,8 +248,6 @@ class UniformFMM:
             m2l_groups: dict[int, list] = {}
             for l in range(2, L + 1):
                 p = degs[l]
-                nc_p = ncoef(p)
-                eye = np.eye(nc_p, dtype=np.complex128)
                 pos = self._coords(l)
                 ncell = 1 << l
                 h = self.edge / ncell
@@ -283,8 +281,7 @@ class UniformFMM:
                                 src_z[valid].astype(np.uint64),
                             ).astype(np.int64)
                             d = np.array([[dx * h, dy * h, dz * h]])
-                            Tr = m2l(eye, d, p, p)
-                            Ti = m2l(1j * eye, d, p, p)
+                            Tr, Ti = m2l_operator(d, p, p)
                             groups.append((tgt, src, Tr, Ti))
                             mem += tgt.nbytes + src.nbytes + Tr.nbytes + Ti.nbytes
                 m2l_groups[l] = groups

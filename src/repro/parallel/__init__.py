@@ -1,10 +1,12 @@
 """Parallel treecode: w-block partitioning, executors, machine model."""
 
 from .executors import (
+    ENV_WORKERS,
     ParallelResult,
     evaluate_parallel,
     evaluate_plan_parallel,
     original_points,
+    resolve_workers,
 )
 from .machine import MachineModel, SimulationResult, schedule_blocks, simulate
 from .partition import BlockProfile, make_blocks, profile_blocks
@@ -15,6 +17,8 @@ __all__ = [
     "BlockProfile",
     "evaluate_parallel",
     "evaluate_plan_parallel",
+    "resolve_workers",
+    "ENV_WORKERS",
     "ParallelResult",
     "original_points",
     "MachineModel",

@@ -32,6 +32,7 @@ the caller.  All recovery actions increment registry counters
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from threading import Lock
@@ -45,7 +46,12 @@ from ..multipole.harmonics import term_count
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
 from ..perf.scatter import scatter_add
-from ..robust.faults import maybe_corrupt, maybe_fault, suppress_faults
+from ..robust.faults import (
+    InjectedFault,
+    maybe_corrupt,
+    maybe_fault,
+    suppress_faults,
+)
 from ..robust.guards import check_finite
 from ..robust.retry import RetryExhausted, RetryPolicy, retry_call
 from .partition import make_blocks
@@ -56,7 +62,31 @@ __all__ = [
     "evaluate_parallel",
     "evaluate_plan_parallel",
     "original_points",
+    "resolve_workers",
+    "ENV_WORKERS",
 ]
+
+#: Environment variable read by :func:`resolve_workers` — the single
+#: worker-count knob for both the thread and process backends.
+ENV_WORKERS = "REPRO_NUM_WORKERS"
+
+
+def resolve_workers(requested: int | None = None, default: int = 4) -> int:
+    """Resolve a worker count: explicit argument, else the
+    ``REPRO_NUM_WORKERS`` environment variable, else ``default``.
+
+    Every parallel entry point (thread pool, process pool, the CLI
+    ``--workers`` flag) funnels through this so one setting controls
+    them all.
+    """
+    if requested is not None:
+        n = int(requested)
+    else:
+        env = os.environ.get(ENV_WORKERS, "").strip()
+        n = int(env) if env else int(default)
+    if n < 1:
+        raise ValueError(f"worker count must be >= 1, got {n}")
+    return n
 
 
 class BlockEvaluationError(RuntimeError):
@@ -186,7 +216,7 @@ def _recover_block(tc: Treecode, pos: np.ndarray, exc: Exception):
 
 def evaluate_parallel(
     tc: Treecode,
-    n_threads: int = 4,
+    n_threads: int | None = None,
     w: int = 64,
     ordering: str = "hilbert",
     retry: RetryPolicy | None = None,
@@ -198,7 +228,8 @@ def evaluate_parallel(
     tc:
         A built :class:`~repro.core.treecode.Treecode`.
     n_threads:
-        Worker threads.
+        Worker threads; ``None`` defers to :func:`resolve_workers`
+        (``REPRO_NUM_WORKERS``, else 4).
     w:
         Aggregation factor: particles per work unit (the paper
         aggregates w consecutive Hilbert-ordered particles per thread
@@ -217,8 +248,7 @@ def evaluate_parallel(
     :class:`ParallelResult` with the potential in the original particle
     order — equal to ``tc.evaluate().potential`` up to rounding.
     """
-    if n_threads < 1:
-        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    n_threads = resolve_workers(n_threads)
     policy = RetryPolicy() if retry is None else retry
     tree = tc.tree
     n = tree.n_particles
@@ -299,100 +329,266 @@ def evaluate_parallel(
     )
 
 
+def _plan_unit_redo(plan, ctx, q_sorted, i: int, exc: Exception, attempts: int):
+    """Suppressed-fault serial redo of one plan unit on the coordinating
+    process — the same arithmetic as a healthy worker, so the recovered
+    contribution is identical."""
+    with suppress_faults():
+        try:
+            with span("robust.fallback", kind="plan_unit", unit=i):
+                tids, vals = plan.execute_unit(ctx, q_sorted, i)
+            check_finite("parallel.fallback", vals, context="plan unit redo")
+            REGISTRY.counter(
+                "block_fallbacks", "blocks recovered via graceful degradation"
+            ).inc()
+            return tids, vals
+        except Exception as final:
+            raise BlockEvaluationError(
+                f"plan unit {i} failed {attempts} attempts and "
+                f"the suppressed-fault fallback: {final}"
+            ) from exc
+
+
+#: Pre-fork state inherited by process-pool workers (copy-on-write):
+#: the plan object plus shared-memory views of the charge vector and
+#: coefficient operands.  Set by :func:`_execute_plan_units_process`
+#: immediately before the pool forks, cleared after.
+_PROC_STATE: dict = {}
+
+
+def _plan_process_unit(i: int):
+    """Worker-side evaluation of one plan unit (process backend).
+
+    Runs in a forked worker: the plan and operands come from the
+    inherited :data:`_PROC_STATE` (zero-copy — shared memory for the
+    numeric operands, copy-on-write for the plan's frozen index
+    arrays).  The ``parallel.kill`` site simulates a hard worker crash
+    (``os._exit``), surfacing to the parent as a broken pool; the
+    ``parallel.block`` site and retry policy behave exactly as in the
+    thread backend.
+    """
+    st = _PROC_STATE
+    plan, ctx, q_sorted, policy = st["plan"], st["ctx"], st["q"], st["policy"]
+    try:
+        maybe_fault("parallel.kill")
+    except InjectedFault:
+        os._exit(3)  # simulated hard crash: no cleanup, no exception
+
+    def attempt():
+        maybe_fault("parallel.block")
+        tids, vals = plan.execute_unit(ctx, q_sorted, i)
+        vals = maybe_corrupt("parallel.block", vals)
+        check_finite("parallel.block", vals, context="plan unit output")
+        return tids, vals
+
+    try:
+        (tids, vals), attempts = retry_call(
+            attempt, policy, site="parallel.block", seed=i
+        )
+    except RetryExhausted as exc:
+        # multi-arg exception constructors (RetryExhausted, the chained
+        # InjectedFault) do not survive pickling back to the parent —
+        # flatten to a plain RuntimeError the pool can transport
+        raise RuntimeError(str(exc)) from None
+    return tids, vals, attempts
+
+
+def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery):
+    """Spread plan units over a forked process pool; returns the merged
+    (Morton-sorted) potential.
+
+    The charge vector and per-degree coefficient operands are placed in
+    ``multiprocessing.shared_memory`` segments before the fork, so
+    workers read them zero-copy; the plan's frozen geometry travels by
+    copy-on-write page sharing.  Results are merged on the parent in
+    deterministic unit order (bitwise-identical to the serial and thread
+    paths).  Recovery ladder per unit: in-worker retries → suppressed
+    serial redo on the parent; a worker death (e.g. the ``block_kill``
+    fault) breaks the pool and every unfinished unit is redone serially.
+    """
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+    from multiprocessing import shared_memory
+
+    global _PROC_STATE
+    segments = []
+
+    def share(arr: np.ndarray) -> np.ndarray:
+        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        segments.append(shm)
+        return view
+
+    n_units = plan.n_units
+    results: dict[int, tuple] = {}
+    try:
+        q_shared = share(q_sorted)
+        ctx_shared = {
+            p: (share(C), share(A) if A is not None else None)
+            for p, (C, A) in ctx.items()
+        }
+        _PROC_STATE = {
+            "plan": plan,
+            "ctx": ctx_shared,
+            "q": q_shared,
+            "policy": policy,
+        }
+        mpctx = mp.get_context("fork")
+        broken = False
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=mpctx) as pool:
+            futures = {i: pool.submit(_plan_process_unit, i) for i in range(n_units)}
+            for i, fut in futures.items():
+                if broken:
+                    break
+                try:
+                    tids, vals, attempts = fut.result()
+                    results[i] = (tids, vals)
+                    recovery["retries"] += attempts - 1
+                except BrokenProcessPool:
+                    broken = True
+                except Exception as exc:
+                    # in-worker retries exhausted (or its output failed
+                    # the guards): redo serially, injection suppressed
+                    attempts = policy.max_retries + 1
+                    results[i] = _plan_unit_redo(
+                        plan, ctx, q_sorted, i, exc, attempts
+                    )[:2]
+                    recovery["retries"] += policy.max_retries
+                    recovery["fallbacks"] += 1
+        if broken:
+            # a worker died mid-run: serially complete every unit whose
+            # result never arrived
+            REGISTRY.counter(
+                "pool_breakages", "process pools broken by worker death"
+            ).inc()
+            for i in range(n_units):
+                if i not in results:
+                    exc = BrokenProcessPool("worker died mid-run")
+                    results[i] = _plan_unit_redo(plan, ctx, q_sorted, i, exc, 1)[:2]
+                    recovery["fallbacks"] += 1
+    finally:
+        _PROC_STATE = {}
+        for shm in segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    phi = np.zeros(plan.n_targets, dtype=np.float64)
+    for i in range(n_units):  # deterministic merge order
+        tids, vals = results[i]
+        scatter_add(phi, tids, vals)
+    return phi
+
+
 def evaluate_plan_parallel(
     plan,
     charges: np.ndarray,
-    n_threads: int = 4,
+    n_threads: int | None = None,
     retry: RetryPolicy | None = None,
+    backend: str = "thread",
 ) -> ParallelResult:
-    """Execute a :class:`~repro.perf.plan.CompiledPlan` with its work
-    units (far-field chunks + near-field dense blocks) spread over a
-    thread pool.
+    """Execute a compiled plan (:class:`~repro.perf.plan.CompiledPlan`
+    or :class:`~repro.perf.cluster.ClusterPlan`) with its work units
+    spread over a worker pool.
 
     Coefficient formation is serial (it is one segmented GEMV); the
     independent, read-only evaluation units then run concurrently and
     their ``(targets, values)`` contributions are merged on the
     coordinating thread in deterministic unit order, so the result is
-    bitwise-reproducible across thread counts and equals
+    bitwise-reproducible across worker counts and backends and equals
     ``plan.execute(charges).potential`` exactly.  Potential only —
     gradient/bound plans still execute, contributing just their
     potential parts.
+
+    ``backend="thread"`` (default) uses a thread pool — NumPy kernels
+    release the GIL, so threads overlap on multi-core hosts with zero
+    serialization cost.  ``backend="process"`` forks a process pool:
+    the charge vector and coefficient operands go into
+    ``multiprocessing.shared_memory`` (read zero-copy by every worker),
+    the plan's frozen geometry is inherited copy-on-write, and only the
+    per-unit result vectors travel back.  Worker counts come from
+    ``n_threads`` via :func:`resolve_workers` (``REPRO_NUM_WORKERS``
+    env var, else 4) for both backends.
 
     Fault tolerance matches :func:`evaluate_parallel`: each unit runs
     under the ``parallel.block`` injection site with a
     :class:`~repro.robust.RetryPolicy`, and a unit that exhausts its
     retries is recomputed serially with fault injection suppressed —
-    identical arithmetic, so recovery does not perturb the result.
+    identical arithmetic, so recovery does not perturb the result.  The
+    process backend adds the ``parallel.kill`` site (``block_kill``
+    mode): a killed worker breaks the pool and every unit without a
+    result is recomputed serially on the parent.
     """
-    if n_threads < 1:
-        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    if backend not in ("thread", "process"):
+        raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+    n_threads = resolve_workers(n_threads)
     policy = RetryPolicy() if retry is None else retry
     q_sorted = plan.sort_charges(charges)
     n_units = plan.n_units
     recovery = {"retries": 0, "fallbacks": 0}
     recovery_lock = Lock()
 
-    sw = stopwatch("parallel.plan_execute", threads=n_threads, units=n_units)
+    sw = stopwatch(
+        "parallel.plan_execute", threads=n_threads, units=n_units, backend=backend
+    )
     with sw:
         ctx = plan.form_coefficients(q_sorted)
 
-        def attempt_unit(i: int):
-            maybe_fault("parallel.block")  # injected error/hang sites
-            tids, vals = plan.execute_unit(ctx, q_sorted, i)
-            vals = maybe_corrupt("parallel.block", vals)
-            check_finite("parallel.block", vals, context="plan unit output")
-            return tids, vals
-
-        def run_unit(i: int):
-            with span("parallel.block", unit=i) as sp:
-                fellback = False
-                try:
-                    (tids, vals), attempts = retry_call(
-                        lambda: attempt_unit(i),
-                        policy,
-                        site="parallel.block",
-                        seed=i,
-                    )
-                except RetryExhausted as exc:
-                    attempts = policy.max_retries + 1
-                    fellback = True
-                    # same arithmetic, injection suppressed -> identical
-                    with suppress_faults():
-                        try:
-                            with span("robust.fallback", kind="plan_unit", unit=i):
-                                tids, vals = plan.execute_unit(ctx, q_sorted, i)
-                            check_finite(
-                                "parallel.fallback", vals, context="plan unit redo"
-                            )
-                            REGISTRY.counter(
-                                "block_fallbacks",
-                                "blocks recovered via graceful degradation",
-                            ).inc()
-                        except Exception as final:
-                            raise BlockEvaluationError(
-                                f"plan unit {i} failed {attempts} attempts and "
-                                f"the suppressed-fault fallback: {final}"
-                            ) from exc
-                with recovery_lock:
-                    recovery["retries"] += attempts - 1
-                    recovery["fallbacks"] += int(fellback)
-            if is_enabled():
-                REGISTRY.histogram(
-                    "parallel_block_seconds", "wall time per worker block"
-                ).observe(sp.elapsed)
-            return tids, vals
-
-        phi = np.zeros(plan.n_targets, dtype=np.float64)
-        if n_threads == 1:
-            results = map(run_unit, range(n_units))
-            for tids, vals in results:
-                scatter_add(phi, tids, vals)
+        if backend == "process":
+            phi = _execute_plan_units_process(
+                plan, ctx, q_sorted, n_threads, policy, recovery
+            )
+            phi, _, _ = plan.finalize(phi)
         else:
-            with ThreadPoolExecutor(max_workers=n_threads) as pool:
-                # pool.map preserves unit order -> deterministic merge
-                for tids, vals in pool.map(run_unit, range(n_units)):
+
+            def attempt_unit(i: int):
+                maybe_fault("parallel.block")  # injected error/hang sites
+                tids, vals = plan.execute_unit(ctx, q_sorted, i)
+                vals = maybe_corrupt("parallel.block", vals)
+                check_finite("parallel.block", vals, context="plan unit output")
+                return tids, vals
+
+            def run_unit(i: int):
+                with span("parallel.block", unit=i) as sp:
+                    fellback = False
+                    try:
+                        (tids, vals), attempts = retry_call(
+                            lambda: attempt_unit(i),
+                            policy,
+                            site="parallel.block",
+                            seed=i,
+                        )
+                    except RetryExhausted as exc:
+                        attempts = policy.max_retries + 1
+                        fellback = True
+                        # same arithmetic, injection suppressed -> identical
+                        tids, vals = _plan_unit_redo(
+                            plan, ctx, q_sorted, i, exc, attempts
+                        )
+                    with recovery_lock:
+                        recovery["retries"] += attempts - 1
+                        recovery["fallbacks"] += int(fellback)
+                if is_enabled():
+                    REGISTRY.histogram(
+                        "parallel_block_seconds", "wall time per worker block"
+                    ).observe(sp.elapsed)
+                return tids, vals
+
+            phi = np.zeros(plan.n_targets, dtype=np.float64)
+            if n_threads == 1:
+                results = map(run_unit, range(n_units))
+                for tids, vals in results:
                     scatter_add(phi, tids, vals)
-        phi, _, _ = plan.finalize(phi)
+            else:
+                with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                    # pool.map preserves unit order -> deterministic merge
+                    for tids, vals in pool.map(run_unit, range(n_units)):
+                        scatter_add(phi, tids, vals)
+            phi, _, _ = plan.finalize(phi)
     wall = sw.elapsed
 
     stats = plan._clone_stats()

@@ -11,9 +11,17 @@ from __future__ import annotations
 
 from .scatter import scatter_add
 
-__all__ = ["scatter_add", "CompiledPlan", "compile_plan", "DEFAULT_MEMORY_BUDGET"]
+__all__ = [
+    "scatter_add",
+    "CompiledPlan",
+    "compile_plan",
+    "DEFAULT_MEMORY_BUDGET",
+    "ClusterPlan",
+    "batched_m2l",
+]
 
 _PLAN_SYMBOLS = {"CompiledPlan", "compile_plan", "DEFAULT_MEMORY_BUDGET"}
+_CLUSTER_SYMBOLS = {"ClusterPlan", "batched_m2l"}
 
 
 def __getattr__(name: str):
@@ -21,4 +29,8 @@ def __getattr__(name: str):
         from . import plan
 
         return getattr(plan, name)
+    if name in _CLUSTER_SYMBOLS:
+        from . import cluster
+
+        return getattr(cluster, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,730 @@
+r"""Cluster-cluster compiled plans: dual-traversal M2L into leaf locals.
+
+The target-major :class:`~repro.perf.plan.CompiledPlan` freezes one
+evaluation row per (cluster, target) pair — O(pairs · p²) memory, which
+at n ≈ 50k outgrows any reasonable budget and forces most far chunks to
+spill back to on-the-fly evaluation.  A :class:`ClusterPlan` changes the
+*algorithm*, not just the storage: a dual-tree traversal
+(:func:`~repro.tree.dualtree.dual_traverse`) decomposes the interaction
+into **box-box** pairs under the two-sided MAC
+``(a_src + a_tgt)/r <= alpha``, each applied as a single M2L translation
+into the target box's *local expansion*; locals are pushed to the
+leaves with L2L and evaluated with one frozen L2P GEMM per leaf.  Plan
+memory is O(box pairs + n · p²) — index arrays, displacement vectors
+and per-target L2P rows; there are **no** per-pair row matrices and
+therefore no far spills, ever.
+
+Per accepted pair the combined M2L → L2L → L2P pipeline truncated at
+the source degree ``p`` obeys the dual Theorem-1 bound
+
+.. math::
+
+    |\Phi - \Phi_p| \le
+    \frac{A}{r - a_s - a_t} \left(\frac{a_s + a_t}{r}\right)^{p+1},
+
+i.e. :func:`~repro.core.bounds.theorem1_bound` with the *combined*
+radius ``a_s + a_t`` — the same geometric series argument with the
+target offset absorbed into the effective cluster radius.  The plan
+accumulates this per-target when compiled with ``accumulate_bounds``
+and books it into ``bound_by_level`` under the source box's level, so
+:func:`~repro.robust.guards.check_bound_accounting` holds exactly as in
+the un-planned path.
+
+The far field is split into ``n_units`` *work units*, each owning a
+contiguous range of Morton-sorted targets (whole leaves).  A unit
+carries every box pair whose target box overlaps its range and its own
+L2L push-down edges, so units are fully independent — the parallel
+executors schedule them like target-major far chunks, and a unit's
+contribution never touches targets outside its range.  Box pairs whose
+target box spans several units are translated once per overlapping unit
+(cheap: M2L cost is per *box*, amortized over the unit's targets).
+
+The batched M2L kernel (:func:`batched_m2l`) is a layout-optimized
+re-derivation of :func:`~repro.multipole.translations.m2l`: batch-last
+grids, index-array packing instead of per-(n, m) Python loops, and a
+``complex64`` accumulation path (relative rounding ~1e-7 — three orders
+below the Theorem-1 truncation ledger it is accounted against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.bounds import theorem1_bound
+from ..core.treecode import (
+    _NEAR_BUDGET,
+    Treecode,
+    TreecodeResult,
+    TreecodeStats,
+    record_eval_metrics,
+)
+from ..multipole.expansion import m_weights
+from ..multipole.gradient import _angular_tables
+from ..multipole.harmonics import (
+    cart_to_sph,
+    degree_of_index,
+    ncoef,
+    power_table,
+    sph_harmonics,
+    term_count,
+)
+from ..multipole.translations import _iphase_grid, _sq_grid, _valid_mask, l2l
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import is_enabled, span, stopwatch
+from ..tree.dualtree import dual_traverse
+from .plan import (
+    DEFAULT_MEMORY_BUDGET,
+    CompiledPlan,
+    _build_p2m_group,
+    _near_kernel,
+    _sph_to_cart,
+)
+
+__all__ = ["ClusterPlan", "batched_m2l"]
+
+#: Rows per inner batched-M2L pass — bounds the transient full-grid
+#: memory (at p=8 the ``shat`` grid is ~0.5 kB/row in complex64).
+_M2L_CHUNK = 32768
+
+#: Default number of far work units (parallelism granularity).  Each
+#: unit re-translates the box pairs that straddle its target range, so
+#: more units mean more duplicated M2L work; 8 keeps the duplication a
+#: few percent while giving the executors enough units to schedule.
+_DEFAULT_UNITS = 8
+
+
+def _pack_idx(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Packed-index → (n, m>=0) coordinate arrays for degree ``p``."""
+    ns, ms = degree_of_index(p)
+    return np.asarray(ns), np.asarray(ms)
+
+
+def batched_m2l(
+    C: np.ndarray, d: np.ndarray, p: int, dtype=np.complex64
+) -> np.ndarray:
+    """Batched same-degree M2L: ``(B, ncoef(p))`` multipoles × ``(B, 3)``
+    displacements → ``(B, ncoef(p))`` locals.
+
+    Numerically equivalent to :func:`repro.multipole.translations.m2l`
+    with ``p_src = p_loc = p`` (to ~1e-7 relative in the default
+    ``complex64`` path, exact structure in ``complex128``), but an order
+    of magnitude faster on large batches: batch-last memory layout, the
+    packed↔full grid conversions done with index arrays instead of
+    per-order loops, and the translation accumulated in reduced
+    precision.
+    """
+    B = C.shape[0]
+    ptot = 2 * p
+    rdt = np.float32 if dtype == np.complex64 else np.float64
+    ns, ms = _pack_idx(p)
+    # rescaled multipole grid, batch-last, with conjugate mirror
+    scale_s = (
+        (_iphase_grid(p, -1) / _sq_grid(p))
+        * ((-1.0) ** np.arange(p + 1))[:, None]
+        * _valid_mask(p)
+    )
+    Ct = np.ascontiguousarray(C.T).astype(dtype)
+    mhat = np.zeros((p + 1, 2 * p + 1, B), dtype=dtype)
+    mhat[ns, p + ms] = Ct * scale_s[ns, p + ms].astype(dtype)[:, None]
+    neg = ms > 0
+    mhat[ns[neg], p - ms[neg]] = (
+        np.conj(Ct[neg]) * scale_s[ns[neg], p - ms[neg]].astype(dtype)[:, None]
+    )
+    # scaled singular grid of the displacements, batch-last
+    rho, ct, phi = cart_to_sph(d)
+    Yt = np.ascontiguousarray(sph_harmonics(ct, phi, ptot).T).astype(dtype)
+    npow = (
+        (1.0 / rho)[None, :] ** (np.arange(ptot + 1)[:, None] + 1)
+    ).astype(rdt)
+    scale_t = (_iphase_grid(ptot, +1) * _sq_grid(ptot)) * _valid_mask(ptot)
+    nt, mt = _pack_idx(ptot)
+    shat = np.zeros((ptot + 1, 2 * ptot + 1, B), dtype=dtype)
+    shat[nt, ptot + mt] = (
+        Yt * scale_t[nt, ptot + mt].astype(dtype)[:, None] * npow[nt]
+    )
+    negt = mt > 0
+    shat[nt[negt], ptot - mt[negt]] = (
+        np.conj(Yt[negt])
+        * scale_t[nt[negt], ptot - mt[negt]].astype(dtype)[:, None]
+        * npow[nt[negt]]
+    )
+    # translation: correlation of the two grids, batch-last.  Only the
+    # m >= 0 half of the local grid is accumulated — the packed layout
+    # never reads m < 0 (conjugate symmetry), which halves the work.
+    Lhat = np.zeros((p + 1, p + 1, B), dtype=dtype)
+    for n in range(p + 1):
+        for m in range(-n, n + 1):
+            a = mhat[n, m + p]
+            sl = shat[n : n + p + 1, m - p + ptot : m + ptot + 1][:, ::-1]
+            Lhat += a[None, None, :] * sl
+    scale_l = (_iphase_grid(p, -1) / _sq_grid(p)) * _valid_mask(p)
+    out = Lhat[ns, ms] * scale_l[ns, p + ms].astype(dtype)[:, None]
+    return out.T
+
+
+def _batched_m2l_chunked(C, d, p, dtype) -> np.ndarray:
+    """Memory-bounded wrapper around :func:`batched_m2l`."""
+    B = C.shape[0]
+    if B <= _M2L_CHUNK:
+        return batched_m2l(C, d, p, dtype)
+    out = np.empty((B, ncoef(p)), dtype=dtype)
+    for lo in range(0, B, _M2L_CHUNK):
+        hi = min(lo + _M2L_CHUNK, B)
+        out[lo:hi] = batched_m2l(C[lo:hi], d[lo:hi], p, dtype)
+    return out
+
+
+@dataclass
+class _FarGroup:
+    """Box pairs of one source degree inside one work unit, sorted by
+    target box (``add.reduceat`` segments)."""
+
+    p: int
+    rows: np.ndarray  #: coefficient row per pair (into ctx[p])
+    d: np.ndarray  #: (B, 3) source center - target center
+    seg: np.ndarray  #: reduceat segment starts
+    utgt: np.ndarray  #: target box id per segment
+    bgeom: np.ndarray | None  #: dual Theorem-1 factor at unit |q|
+    levels: np.ndarray | None  #: source box level per pair
+    cnt_t: np.ndarray | None  #: unit targets under the target box
+
+
+@dataclass
+class _L2PGroup:
+    """Frozen local-evaluation rows for the unit leaves of one degree."""
+
+    p: int
+    tidx: np.ndarray  #: target indices (Morton-sorted space)
+    leaf_of: np.ndarray  #: leaf node id per target (locals gather)
+    Ure: np.ndarray  #: w·Re(Y)·r^n rows
+    Uim: np.ndarray
+    grad: tuple | None  #: (A, B, D, st, ct, cp, sp) gradient rows
+
+
+@dataclass
+class _FarUnit:
+    """One independent far-field work unit: a contiguous target range
+    with its box pairs, L2L push-down edges and L2P rows."""
+
+    tlo: int
+    thi: int
+    n_pairs: int
+    groups: list = field(default_factory=list)
+    push_par: list = field(default_factory=list)  #: per level: parents
+    push_chi: list = field(default_factory=list)  #: per level: children
+    push_shift: list = field(default_factory=list)
+    l2p: list = field(default_factory=list)
+
+
+@dataclass
+class _ClusterNearBlock:
+    """Dense near block of one target leaf (or a row slice of it)
+    against the concatenated particles of its near-listed source
+    leaves."""
+
+    tlo: int
+    thi: int
+    sidx: np.ndarray  #: source particle indices (Morton-sorted space)
+    n_excluded: int
+    excl: np.ndarray | None  #: per-target excluded column, -1 = none
+    K: np.ndarray | None = None  #: (t, s) 1/r kernel (None = spilled)
+    D3: np.ndarray | None = None  #: (t, s, 3) gradient kernel
+
+
+class ClusterPlan(CompiledPlan):
+    """Dual-traversal cluster-cluster evaluation plan.
+
+    Compile with :func:`repro.perf.plan.compile_plan` (``mode="cluster"``)
+    or :meth:`repro.core.treecode.Treecode.compile_plan`; the interface
+    — :meth:`execute`, :meth:`form_coefficients` / :meth:`execute_unit`
+    for the parallel executors, :meth:`finalize` — is that of
+    :class:`~repro.perf.plan.CompiledPlan`.  Cluster plans always
+    evaluate at the treecode's own points (``self_targets``).
+
+    ``n_far_spilled`` is always 0: the far field stores no row matrices,
+    only index/displacement arrays and the per-target L2P rows, all
+    resident.  Near blocks are budget-gated exactly like the
+    target-major plan.
+    """
+
+    def __init__(
+        self,
+        tc: Treecode,
+        tgt: np.ndarray,
+        self_targets: bool = True,
+        compute: str = "potential",
+        accumulate_bounds: bool = False,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        rows_dtype=np.float64,
+        n_units: int | None = None,
+    ) -> None:
+        if not self_targets:
+            raise ValueError(
+                "cluster plans evaluate at the treecode's own points; "
+                "self_targets must be True"
+            )
+        if n_units is not None and n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        self._n_units_req = n_units
+        super().__init__(
+            tc,
+            None,
+            tgt,
+            self_targets=True,
+            compute=compute,
+            accumulate_bounds=accumulate_bounds,
+            memory_budget=memory_budget,
+            rows_dtype=rows_dtype,
+        )
+
+    # -- compilation ---------------------------------------------------
+    def _compile(self, lists) -> None:  # noqa: ARG002 - dual walk, no lists
+        tc, tree, tgt = self.tc, self.tc.tree, self.tgt
+        grad_wanted = self.compute == "both"
+        want_bounds = self.accumulate_bounds
+        mem = 0
+        budget_used = 0
+        stats = TreecodeStats(n_targets=int(tgt.shape[0]))
+        # complex64 M2L accumulation: ~1e-7 relative rounding, accounted
+        # against a truncation ledger orders of magnitude larger
+        self._m2l_dtype = np.complex64
+
+        pairs = dual_traverse(tree, tc.alpha)
+        fs, ft = pairs.far_src, pairs.far_tgt
+        p_pair = tc.p_eval[fs] if fs.size else np.empty(0, dtype=np.int64)
+        self.n_box_pairs = pairs.n_far
+        self.n_near_pairs = pairs.n_near
+
+        # ---- frozen stats from the global pair decomposition ----------
+        # (per-unit duplication of straddling pairs must not inflate
+        # the interaction counts)
+        stats.n_pc_interactions = int(fs.size)
+        if fs.size:
+            for p in np.unique(p_pair):
+                k = int(np.count_nonzero(p_pair == p))
+                stats.interactions_by_degree[int(p)] = k
+                stats.n_terms += k * term_count(int(p))
+            for L, c in enumerate(np.bincount(tree.level[fs])):
+                if c:
+                    stats.interactions_by_level[int(L)] = int(c)
+
+        # ---- P2M groups per source degree -----------------------------
+        self._p2m_groups = []
+        self._rowmap: dict[int, np.ndarray] = {}
+        if fs.size:
+            for p in np.unique(p_pair):
+                un = np.unique(fs[p_pair == p])
+                group, gbytes = _build_p2m_group(tree, int(p), un)
+                self._p2m_groups.append(group)
+                self._rowmap[int(p)] = un
+                mem += gbytes
+
+        # ---- local degree per box: max over incoming pairs, pushed
+        # down so every descendant can absorb inherited locals ---------
+        Ploc = np.full(tree.n_nodes, -1, dtype=np.int64)
+        if fs.size:
+            np.maximum.at(Ploc, ft, p_pair)
+            for dlev in range(1, tree.height):
+                lo, hi = tree.level_ranges[dlev]
+                ids = np.arange(lo, hi)
+                np.maximum(Ploc[ids], Ploc[tree.parent[ids]], out=Ploc[ids])
+        self._Pmax = int(Ploc.max()) if fs.size else 0
+
+        # ---- partition Morton-sorted targets into far work units ------
+        leaves = tree.leaf_ids()
+        leaves = leaves[np.argsort(tree.start[leaves])]
+        n_leaves = int(leaves.size)
+        self._units: list[_FarUnit] = []
+        if fs.size:
+            # balance on estimated M2L work per leaf: each pair costs
+            # ~ncoef(p)^2 at its target box, inherited by every leaf below
+            wk = np.zeros(tree.n_nodes)
+            np.add.at(wk, ft, (p_pair + 1.0) ** 4)
+            for dlev in range(1, tree.height):
+                lo, hi = tree.level_ranges[dlev]
+                ids = np.arange(lo, hi)
+                wk[ids] += wk[tree.parent[ids]]
+            cumw = np.cumsum(wk[leaves] + 1.0)
+            req = self._n_units_req or _DEFAULT_UNITS
+            req = max(1, min(req, n_leaves))
+            ends = np.searchsorted(
+                cumw, cumw[-1] * np.arange(1, req + 1) / req, side="left"
+            )
+            ends = np.unique(np.minimum(ends + 1, n_leaves))
+            starts_u = np.concatenate([[0], ends[:-1]])
+            bs_all, be_all = tree.start[ft], tree.end[ft]
+            for ls, le in zip(starts_u, ends):
+                mem += self._compile_far_unit(
+                    leaves[ls:le],
+                    fs,
+                    ft,
+                    p_pair,
+                    bs_all,
+                    be_all,
+                    Ploc,
+                    grad_wanted,
+                    want_bounds,
+                )
+
+        # ---- near field: dense blocks per target leaf -----------------
+        self._near_blocks: list[_ClusterNearBlock] = []
+        nsrc, ntgt = pairs.near_src, pairs.near_tgt
+        if nsrc.size:
+            cs = tree.end[nsrc] - tree.start[nsrc]
+            ctn = tree.end[ntgt] - tree.start[ntgt]
+            stats.n_pp_pairs = int(np.sum(cs * ctn)) - int(
+                np.sum(np.where(nsrc == ntgt, ctn, 0))
+            )
+            order = np.lexsort((nsrc, ntgt))
+            nsrc, ntgt = nsrc[order], ntgt[order]
+            utl, tstarts = np.unique(ntgt, return_index=True)
+            bnds = list(tstarts) + [nsrc.size]
+            for leaf, lo, hi in zip(utl, bnds[:-1], bnds[1:]):
+                nb_mem, nb_budget = self._compile_near_leaf(
+                    int(leaf), nsrc[lo:hi], grad_wanted, budget_used
+                )
+                mem += nb_mem
+                budget_used = nb_budget
+
+        self._static_stats = stats
+        self.memory_bytes = int(mem)
+        self.n_far_precomputed = sum(len(u.groups) for u in self._units)
+        self.n_far_spilled = 0
+        self.n_near_precomputed = sum(
+            1 for b in self._near_blocks if b.K is not None
+        )
+        self.n_near_spilled = len(self._near_blocks) - self.n_near_precomputed
+
+    def _compile_far_unit(
+        self, uleaves, fs, ft, p_pair, bs_all, be_all, Ploc, grad_wanted,
+        want_bounds,
+    ) -> int:
+        """Build one far work unit over the contiguous leaf run
+        ``uleaves``; returns materialized bytes."""
+        tree, tgt = self.tc.tree, self.tgt
+        tlo = int(tree.start[uleaves[0]])
+        thi = int(tree.end[uleaves[-1]])
+        mem = 0
+
+        # pairs whose target box overlaps the unit's particle range
+        sel = np.nonzero((bs_all < thi) & (be_all > tlo))[0]
+        if sel.size == 0:
+            return 0
+        ps_u, src_u, tgt_u = p_pair[sel], fs[sel], ft[sel]
+        ordu = np.lexsort((tgt_u, ps_u))
+        ps_u, src_u, tgt_u = ps_u[ordu], src_u[ordu], tgt_u[ordu]
+        bs_u, be_u = bs_all[sel][ordu], be_all[sel][ordu]
+        unit = _FarUnit(tlo=tlo, thi=thi, n_pairs=int(sel.size))
+
+        uniqp, pstarts = np.unique(ps_u, return_index=True)
+        bnds = list(pstarts) + [ps_u.size]
+        for p, lo, hi in zip(uniqp, bnds[:-1], bnds[1:]):
+            p = int(p)
+            srcs, tgts = src_u[lo:hi], tgt_u[lo:hi]
+            rows = np.searchsorted(self._rowmap[p], srcs)
+            d = tree.center_exp[srcs] - tree.center_exp[tgts]
+            utgt, seg = np.unique(tgts, return_index=True)
+            bgeom = levels = cnt_t = None
+            if want_bounds:
+                r = np.sqrt(np.einsum("ij,ij->i", d, d))
+                asum = tree.radius[srcs] + tree.radius[tgts]
+                bgeom = theorem1_bound(1.0, asum, r, p)
+                levels = tree.level[srcs]
+                cnt_t = np.minimum(be_u[lo:hi], thi) - np.maximum(
+                    bs_u[lo:hi], tlo
+                )
+            g = _FarGroup(
+                p=p, rows=rows, d=d, seg=seg, utgt=utgt,
+                bgeom=bgeom, levels=levels, cnt_t=cnt_t,
+            )
+            unit.groups.append(g)
+            mem += rows.nbytes + d.nbytes + seg.nbytes + utgt.nbytes
+            if want_bounds:
+                mem += bgeom.nbytes + levels.nbytes + cnt_t.nbytes
+
+        # L2L push-down: edges from boxes holding local content down to
+        # the unit's leaves (level order, so parents are final before
+        # their children are filled)
+        need = np.zeros(tree.n_nodes, dtype=bool)
+        need[uleaves] = True
+        for dlev in range(tree.height - 1, 0, -1):
+            lo, hi = tree.level_ranges[dlev]
+            ids = np.arange(lo, hi)
+            need[tree.parent[ids[need[ids]]]] = True
+        content = np.zeros(tree.n_nodes, dtype=bool)
+        content[tgt_u] = True
+        for dlev in range(1, tree.height):
+            lo, hi = tree.level_ranges[dlev]
+            ids = np.arange(lo, hi)
+            chi = ids[need[ids] & content[tree.parent[ids]]]
+            if chi.size:
+                par = tree.parent[chi]
+                shift = tree.center_exp[chi] - tree.center_exp[par]
+                unit.push_par.append(par)
+                unit.push_chi.append(chi)
+                unit.push_shift.append(shift)
+                content[chi] = True
+                mem += par.nbytes + chi.nbytes + shift.nbytes
+
+        # frozen L2P rows per leaf degree
+        lleaves = uleaves[content[uleaves]]
+        pl = Ploc[lleaves]
+        cdt = np.complex64 if self.rows_dtype == np.float32 else np.complex128
+        for pd in np.unique(pl):
+            pd = int(pd)
+            sel_l = lleaves[pl == pd]
+            cnts = (tree.end[sel_l] - tree.start[sel_l]).astype(np.int64)
+            cum = np.concatenate([[0], np.cumsum(cnts)])
+            tidx = (
+                np.arange(int(cum[-1]))
+                - np.repeat(cum[:-1], cnts)
+                + np.repeat(tree.start[sel_l], cnts)
+            )
+            leaf_of = np.repeat(sel_l, cnts)
+            rel = tgt[tidx] - tree.center_exp[leaf_of]
+            r, ctheta, phi = cart_to_sph(rel)
+            ns, ms = degree_of_index(pd)
+            w = m_weights(pd)
+            r_safe = np.maximum(r, 1e-300)
+            rpow = power_table(r_safe, pd)[:, ns]
+            grad_rows = None
+            if grad_wanted:
+                Y, dY, _, _ = _angular_tables(ctheta, phi, pd)
+                st = np.sqrt(np.maximum(0.0, 1.0 - ctheta * ctheta))
+                st_safe = np.maximum(st, 1e-12)
+                rinv = 1.0 / r_safe
+                A = (Y * rpow * ns * w * rinv[:, None]).astype(cdt)
+                Bm = (dY * rpow * w * rinv[:, None]).astype(cdt)
+                D = (Y * rpow * (ms * w) * (rinv / st_safe)[:, None]).astype(
+                    cdt
+                )
+                grad_rows = (A, Bm, D, st, ctheta, np.cos(phi), np.sin(phi))
+                mem += 3 * A.nbytes + 4 * st.nbytes
+            else:
+                Y = sph_harmonics(ctheta, phi, pd)
+            Ure = (Y.real * rpow * w).astype(self.rows_dtype)
+            Uim = (Y.imag * rpow * w).astype(self.rows_dtype)
+            mem += Ure.nbytes + Uim.nbytes + tidx.nbytes + leaf_of.nbytes
+            unit.l2p.append(
+                _L2PGroup(
+                    p=pd, tidx=tidx, leaf_of=leaf_of, Ure=Ure, Uim=Uim,
+                    grad=grad_rows,
+                )
+            )
+        self._units.append(unit)
+        return mem
+
+    def _compile_near_leaf(
+        self, leaf: int, srcs: np.ndarray, grad_wanted: bool, budget_used: int
+    ) -> tuple[int, int]:
+        """Dense near blocks for one target leaf against its near-listed
+        source leaves; returns (bytes, updated budget_used)."""
+        tree, tgt = self.tc.tree, self.tgt
+        s, e = int(tree.start[leaf]), int(tree.end[leaf])
+        if e == s:
+            return 0, budget_used
+        srcs = np.sort(srcs)
+        cnts = (tree.end[srcs] - tree.start[srcs]).astype(np.int64)
+        cum = np.concatenate([[0], np.cumsum(cnts)])
+        sidx = (
+            np.arange(int(cum[-1]))
+            - np.repeat(cum[:-1], cnts)
+            + np.repeat(tree.start[srcs], cnts)
+        )
+        # self exclusion: the target leaf appears among its own sources
+        pos = np.nonzero(srcs == leaf)[0]
+        if pos.size:
+            off = int(cum[pos[0]])
+            excl_full = off + np.arange(e - s)
+        else:
+            excl_full = None
+        mem = sidx.nbytes
+        step = max(1, _NEAR_BUDGET // max(1, int(sidx.size)))
+        for lo in range(0, e - s, step):
+            hi = min(lo + step, e - s)
+            excl = excl_full[lo:hi] if excl_full is not None else None
+            nb = _ClusterNearBlock(
+                tlo=s + lo,
+                thi=s + hi,
+                sidx=sidx,
+                n_excluded=(hi - lo) if excl is not None else 0,
+                excl=excl,
+            )
+            cost = (hi - lo) * sidx.size * 8
+            if grad_wanted:
+                cost += (hi - lo) * sidx.size * 3 * 8
+            if budget_used + cost <= self.memory_budget:
+                K, dvec, r2 = _near_kernel(
+                    tgt[s + lo : s + hi],
+                    tree.points[sidx],
+                    excl,
+                    self.tc.softening,
+                )
+                nb.K = K
+                if grad_wanted:
+                    with np.errstate(divide="ignore"):
+                        wg = 1.0 / (r2 * np.sqrt(r2))
+                    wg[r2 == 0.0] = 0.0
+                    if excl is not None:
+                        rws = np.nonzero(excl >= 0)[0]
+                        wg[rws, excl[rws]] = 0.0
+                    nb.D3 = wg[..., None] * dvec
+                budget_used += cost
+                mem += cost
+            self._near_blocks.append(nb)
+        return mem, budget_used
+
+    # -- execution -----------------------------------------------------
+    @property
+    def n_units(self) -> int:
+        return len(self._units) + len(self._near_blocks)
+
+    def _far_unit_eval(self, ctx, u: _FarUnit, phi, grad, bound, stats):
+        """Evaluate one far unit: batched M2L into box locals, L2L
+        push-down, frozen L2P.  Writes only to ``[u.tlo, u.thi)``."""
+        tree = self.tc.tree
+        ncmax = ncoef(self._Pmax)
+        L = np.zeros((tree.n_nodes, ncmax), dtype=np.complex128)
+        bsc = np.zeros(tree.n_nodes) if bound is not None else None
+        with span("plan.m2l", pairs=u.n_pairs, groups=len(u.groups)):
+            for g in u.groups:
+                C = ctx[g.p][0][g.rows]
+                Lp = _batched_m2l_chunked(C, g.d, g.p, self._m2l_dtype)
+                nc = ncoef(g.p)
+                L[g.utgt, :nc] += np.add.reduceat(Lp, g.seg, axis=0)
+                if bound is not None:
+                    b = ctx[g.p][1][g.rows] * g.bgeom
+                    bsc[g.utgt] += np.add.reduceat(b, g.seg)
+                    if stats is not None:
+                        lsum = np.bincount(g.levels, weights=b * g.cnt_t)
+                        for Lv, s_ in enumerate(lsum):
+                            if s_:
+                                stats.bound_by_level[Lv] = (
+                                    stats.bound_by_level.get(Lv, 0.0)
+                                    + float(s_)
+                                )
+        with span("plan.l2l", levels=len(u.push_chi)):
+            for par, chi, sh in zip(u.push_par, u.push_chi, u.push_shift):
+                L[chi] += l2l(L[par], sh, self._Pmax)
+                if bsc is not None:
+                    bsc[chi] += bsc[par]
+        with span("plan.l2p", groups=len(u.l2p)):
+            for gl in u.l2p:
+                nc = ncoef(gl.p)
+                Lg = L[:, :nc][gl.leaf_of]
+                vals = np.einsum("tc,tc->t", gl.Ure, Lg.real) - np.einsum(
+                    "tc,tc->t", gl.Uim, Lg.imag
+                )
+                phi[gl.tidx] += vals
+                if grad is not None:
+                    A, Bm, D, st, ctheta, cp, sp = gl.grad
+                    d_r = np.real(np.einsum("tc,tc->t", A, Lg))
+                    d_th = np.real(np.einsum("tc,tc->t", Bm, Lg))
+                    d_ph = -np.imag(np.einsum("tc,tc->t", D, Lg))
+                    grad[gl.tidx] += _sph_to_cart(
+                        d_r, d_th, d_ph, st, ctheta, cp, sp
+                    )
+                if bound is not None:
+                    bound[gl.tidx] += bsc[gl.leaf_of]
+
+    def _near_unit_eval(self, q_sorted, nb: _ClusterNearBlock, phi, grad):
+        qs = q_sorted[nb.sidx]
+        if nb.K is not None:
+            phi[nb.tlo : nb.thi] += nb.K @ qs
+            if grad is not None:
+                grad[nb.tlo : nb.thi] += -np.einsum("tsi,s->ti", nb.D3, qs)
+        else:  # spilled: dense block on the fly
+            from ..core.treecode import _near_gradient
+            from ..direct import pairwise_potential
+
+            src = self.tc.tree.points[nb.sidx]
+            blk = self.tgt[nb.tlo : nb.thi]
+            phi[nb.tlo : nb.thi] += pairwise_potential(
+                blk, src, qs, exclude=nb.excl, softening=self.tc.softening
+            )
+            if grad is not None:
+                grad[nb.tlo : nb.thi] += _near_gradient(
+                    blk, src, qs, nb.excl, softening=self.tc.softening
+                )
+
+    def execute_unit(self, ctx, q_sorted, i):
+        """Evaluate one work unit (far unit or near block) in isolation;
+        returns ``(target_indices, values)`` for the parallel executor.
+        Target ranges of far units are disjoint, as are near blocks'."""
+        nfu = len(self._units)
+        if i < nfu:
+            u = self._units[i]
+            phi = np.zeros(self.n_targets)
+            self._far_unit_eval(ctx, u, phi, None, None, None)
+            return np.arange(u.tlo, u.thi), phi[u.tlo : u.thi]
+        nb = self._near_blocks[i - nfu]
+        qs = q_sorted[nb.sidx]
+        if nb.K is not None:
+            return np.arange(nb.tlo, nb.thi), nb.K @ qs
+        from ..direct import pairwise_potential
+
+        vals = pairwise_potential(
+            self.tgt[nb.tlo : nb.thi],
+            self.tc.tree.points[nb.sidx],
+            qs,
+            exclude=nb.excl,
+            softening=self.tc.softening,
+        )
+        return np.arange(nb.tlo, nb.thi), vals
+
+    def execute(self, charges: np.ndarray) -> TreecodeResult:
+        """Apply the cluster plan to a charge vector.
+
+        Matches the target-major plan (and the un-planned evaluator)
+        within the Theorem-1 truncation ledger: the cluster path adds
+        the target-side truncation, which the dual bound accounts for.
+        """
+        q_sorted = self.sort_charges(charges)
+        obs_on = is_enabled()
+        nt = self.n_targets
+        with span(
+            "plan.execute", targets=nt, units=self.n_units, mode="cluster"
+        ):
+            sw = stopwatch("plan.eval").__enter__()
+            phi = np.zeros(nt, dtype=np.float64)
+            grad = (
+                np.zeros((nt, 3), dtype=np.float64)
+                if self.compute == "both"
+                else None
+            )
+            bound = (
+                np.zeros(nt, dtype=np.float64)
+                if self.accumulate_bounds
+                else None
+            )
+            stats = self._clone_stats()
+            ctx = self.form_coefficients(q_sorted)
+            with span("plan.far_field", units=len(self._units)):
+                for u in self._units:
+                    self._far_unit_eval(ctx, u, phi, grad, bound, stats)
+            with span("plan.near_field", blocks=len(self._near_blocks)):
+                for nb in self._near_blocks:
+                    self._near_unit_eval(q_sorted, nb, phi, grad)
+            sw.__exit__(None, None, None)
+            stats.eval_time = sw.elapsed
+            if obs_on:
+                REGISTRY.counter(
+                    "plan_executes", "compiled-plan applications"
+                ).inc()
+                record_eval_metrics(stats)
+            phi, grad, bound = self.finalize(phi, grad, bound, stats)
+        return TreecodeResult(
+            potential=phi, gradient=grad, error_bound=bound, stats=stats
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the compiled structure."""
+        return (
+            f"ClusterPlan(targets={self.n_targets}, "
+            f"box_pairs={self.n_box_pairs}, units={len(self._units)}, "
+            f"near={self.n_near_precomputed}+{self.n_near_spilled} spilled, "
+            f"{self.memory_bytes / 1e6:.1f} MB, "
+            f"compile {self.compile_time * 1e3:.1f} ms)"
+        )

@@ -143,39 +143,66 @@ class _NearBlock:
     excl: np.ndarray | None = None  #: per-target excluded source (lazy)
 
 
-def _far_chunk_rows(rel: np.ndarray, p: int):
-    """Potential row matrices for one chunk: the geometry factors of
+def _far_chunk_geometry(rel: np.ndarray, p: int, want_grad: bool = False):
+    """Row matrices for one far chunk in a single geometry pass.
+
+    Returns ``(Rre, Rim, r, grad)`` — the geometry factors of
     :func:`~repro.multipole.expansion.m2p_rows` with the real-part
-    weights folded in."""
-    r, ct, phi = cart_to_sph(rel)
-    Y = sph_harmonics(ct, phi, p)
-    ns, _ = degree_of_index(p)
-    rinv = 1.0 / r
-    rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
-    w = m_weights(p)
-    return Y.real * rpow * w, Y.imag * rpow * w, r
-
-
-def _far_chunk_grad(rel: np.ndarray, p: int):
-    """Gradient row matrices: the geometry factors of
-    :func:`~repro.multipole.gradient.m2p_grad_rows`, with the weights,
-    ``1/r`` scales and azimuthal ``1/sinθ`` guard folded in."""
+    weights folded in, and (when ``want_grad``) the factors of
+    :func:`~repro.multipole.gradient.m2p_grad_rows` with the weights,
+    ``1/r`` scales and azimuthal ``1/sinθ`` guard folded in.  The
+    spherical transform, power table and harmonics are computed once and
+    shared between the potential and gradient rows (the gradient path
+    derives ``Y`` from the Legendre/θ-derivative tables it needs
+    anyway).
+    """
     r, ct, phi = cart_to_sph(rel)
     ns, ms = degree_of_index(p)
-    norms = norm_table(p)
-    P, dP = legendre_theta_derivative_table(ct, p)
-    e = np.exp(1j * phi[:, None] * np.arange(p + 1))
-    Y = P[:, ns, ms] * norms * e[:, ms]
-    dY = dP[:, ns, ms] * norms * e[:, ms]
     w = m_weights(p)
     rinv = 1.0 / r
     rpow = rinv[:, None] * power_table(rinv, p)[:, ns]
-    st = np.sqrt(np.maximum(0.0, 1.0 - ct * ct))
-    st_safe = np.maximum(st, 1e-12)
-    A = Y * rpow * (-(ns + 1)) * w * rinv[:, None]
-    B = dY * rpow * w * rinv[:, None]
-    D = Y * rpow * (ms * w) * (rinv / st_safe)[:, None]
-    return A, B, D, st, ct, np.cos(phi), np.sin(phi)
+    grad = None
+    if want_grad:
+        norms = norm_table(p)
+        P, dP = legendre_theta_derivative_table(ct, p)
+        e = np.exp(1j * phi[:, None] * np.arange(p + 1))
+        Y = P[:, ns, ms] * norms * e[:, ms]
+        dY = dP[:, ns, ms] * norms * e[:, ms]
+        st = np.sqrt(np.maximum(0.0, 1.0 - ct * ct))
+        st_safe = np.maximum(st, 1e-12)
+        A = Y * rpow * (-(ns + 1)) * w * rinv[:, None]
+        B = dY * rpow * w * rinv[:, None]
+        D = Y * rpow * (ms * w) * (rinv / st_safe)[:, None]
+        grad = (A, B, D, st, ct, np.cos(phi), np.sin(phi))
+    else:
+        Y = sph_harmonics(ct, phi, p)
+    return Y.real * rpow * w, Y.imag * rpow * w, r, grad
+
+
+def _build_p2m_group(tree, p: int, un: np.ndarray) -> tuple[_P2MGroup, int]:
+    """Segmented P2M transfer operator over the unique nodes ``un`` of
+    one degree group; returns the group and its materialized bytes.
+    Shared between the target-major and cluster-cluster compilers."""
+    nc = ncoef(p)
+    counts = (tree.end[un] - tree.start[un]).astype(np.int64)
+    cum = np.concatenate([[0], np.cumsum(counts)])
+    total = int(cum[-1])
+    pidx = (
+        np.arange(total)
+        - np.repeat(cum[:-1], counts)
+        + np.repeat(tree.start[un], counts)
+    )
+    owner = np.repeat(np.arange(un.size), counts)
+    G = np.empty((total, nc), dtype=np.complex128)
+    row_budget = max(1, 4_000_000 // max(nc, 1))
+    centers = tree.center_exp[un]
+    for glo in range(0, total, row_budget):
+        ghi = min(glo + row_budget, total)
+        rel = tree.points[pidx[glo:ghi]] - centers[owner[glo:ghi]]
+        G[glo:ghi] = _p2m_geometry(rel, p)
+    seg = cum[:-1]
+    group = _P2MGroup(p=p, nodes=un, pidx=pidx, seg=seg, G=G)
+    return group, G.nbytes + pidx.nbytes + seg.nbytes + un.nbytes
 
 
 def _sph_to_cart(dr, dth, dph, st, ct, cp, sp):
@@ -232,9 +259,15 @@ class CompiledPlan:
         compute: str = "potential",
         accumulate_bounds: bool = False,
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        rows_dtype=np.float64,
     ) -> None:
         if compute not in ("potential", "both"):
             raise ValueError(f"compute must be 'potential' or 'both', got {compute!r}")
+        rows_dtype = np.dtype(rows_dtype)
+        if rows_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"rows_dtype must be float64 or float32, got {rows_dtype}"
+            )
         tgt = np.asarray(tgt, dtype=np.float64)
         if tgt.ndim != 2 or tgt.shape[1] != 3:
             raise ValueError(f"targets must have shape (t, 3), got {tgt.shape}")
@@ -244,6 +277,7 @@ class CompiledPlan:
         self.compute = compute
         self.accumulate_bounds = bool(accumulate_bounds)
         self.memory_budget = int(memory_budget)
+        self.rows_dtype = rows_dtype
         with stopwatch("plan.compile", targets=int(tgt.shape[0])) as sw:
             self._compile(lists)
         self.compile_time = sw.elapsed
@@ -283,29 +317,12 @@ class CompiledPlan:
                 # P2M transfer operator over this group's unique nodes
                 un = np.unique(nodes_g)
                 rows_g = np.searchsorted(un, nodes_g)
-                counts = (tree.end[un] - tree.start[un]).astype(np.int64)
-                cum = np.concatenate([[0], np.cumsum(counts)])
-                total = int(cum[-1])
-                pidx = (
-                    np.arange(total)
-                    - np.repeat(cum[:-1], counts)
-                    + np.repeat(tree.start[un], counts)
-                )
-                owner = np.repeat(np.arange(un.size), counts)
                 nc = ncoef(p)
-                G = np.empty((total, nc), dtype=np.complex128)
-                row_budget = max(1, 4_000_000 // max(nc, 1))
-                centers = tree.center_exp[un]
-                for glo in range(0, total, row_budget):
-                    ghi = min(glo + row_budget, total)
-                    rel = tree.points[pidx[glo:ghi]] - centers[owner[glo:ghi]]
-                    G[glo:ghi] = _p2m_geometry(rel, p)
-                seg = cum[:-1]
-                self._p2m_groups.append(
-                    _P2MGroup(p=p, nodes=un, pidx=pidx, seg=seg, G=G)
-                )
-                mem += G.nbytes + pidx.nbytes + seg.nbytes + un.nbytes
+                group, gbytes = _build_p2m_group(tree, p, un)
+                self._p2m_groups.append(group)
+                mem += gbytes
 
+                fsize = self.rows_dtype.itemsize
                 for clo in range(0, npairs, _FAR_CHUNK):
                     chi = min(clo + _FAR_CHUNK, npairs)
                     k = chi - clo
@@ -313,17 +330,32 @@ class CompiledPlan:
                     rows_c = rows_g[clo:chi]
                     nodes_c = nodes_g[clo:chi]
                     mem += tids_c.nbytes + rows_c.nbytes + nodes_c.nbytes
-                    cost = 2 * k * nc * 8
+                    cost = 2 * k * nc * fsize
                     if grad_wanted:
-                        cost += 3 * k * nc * 16 + 4 * k * 8
+                        cost += 3 * k * nc * 2 * fsize + 4 * k * 8
                     if self.accumulate_bounds:
                         cost += k * 8 + k * tree.level.dtype.itemsize
                     ch = _FarChunk(p=p, tids=tids_c, rows=rows_c, nodes=nodes_c)
                     if budget_used + cost <= self.memory_budget:
                         rel = tgt[tids_c] - tree.center_exp[nodes_c]
-                        ch.Rre, ch.Rim, r = _far_chunk_rows(rel, p)
+                        Rre, Rim, r, gr = _far_chunk_geometry(
+                            rel, p, want_grad=grad_wanted
+                        )
+                        ch.Rre = Rre.astype(self.rows_dtype, copy=False)
+                        ch.Rim = Rim.astype(self.rows_dtype, copy=False)
                         if grad_wanted:
-                            ch.grad = _far_chunk_grad(rel, p)
+                            A, B, D, st, ct, cp, sp = gr
+                            cdt = (
+                                np.complex64
+                                if self.rows_dtype == np.float32
+                                else np.complex128
+                            )
+                            ch.grad = (
+                                A.astype(cdt, copy=False),
+                                B.astype(cdt, copy=False),
+                                D.astype(cdt, copy=False),
+                                st, ct, cp, sp,
+                            )
                         if self.accumulate_bounds:
                             ch.bgeom = theorem1_bound(
                                 1.0, tree.radius[nodes_c], r, p
@@ -608,17 +640,44 @@ class CompiledPlan:
 
 def compile_plan(
     tc: Treecode,
-    lists: InteractionLists,
+    lists: InteractionLists | None,
     tgt: np.ndarray,
     self_targets: bool = False,
     compute: str = "potential",
     accumulate_bounds: bool = False,
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    mode: str = "target",
+    rows_dtype=np.float64,
+    n_units: int | None = None,
 ) -> CompiledPlan:
-    """Freeze a treecode + interaction lists into a :class:`CompiledPlan`.
+    """Freeze a treecode into a compiled evaluation plan.
+
+    ``mode="target"`` builds the target-major :class:`CompiledPlan` from
+    precomputed interaction lists (per-pair far rows).
+    ``mode="cluster"`` builds a
+    :class:`~repro.perf.cluster.ClusterPlan` from a dual-tree traversal
+    (box-box M2L into per-leaf local expansions) — ``lists`` is ignored
+    and the targets must be the treecode's own points.
 
     Equivalent to :meth:`repro.core.treecode.Treecode.compile_plan`.
     """
+    if mode == "cluster":
+        from .cluster import ClusterPlan
+
+        return ClusterPlan(
+            tc,
+            tgt,
+            self_targets=self_targets,
+            compute=compute,
+            accumulate_bounds=accumulate_bounds,
+            memory_budget=memory_budget,
+            rows_dtype=rows_dtype,
+            n_units=n_units,
+        )
+    if mode != "target":
+        raise ValueError(f"mode must be 'target' or 'cluster', got {mode!r}")
+    if lists is None:
+        raise ValueError("mode='target' requires interaction lists")
     return CompiledPlan(
         tc,
         lists,
@@ -627,4 +686,5 @@ def compile_plan(
         compute=compute,
         accumulate_bounds=accumulate_bounds,
         memory_budget=memory_budget,
+        rows_dtype=rows_dtype,
     )

@@ -17,6 +17,7 @@ Spec strings are comma-separated ``mode:rate[:param]`` entries::
     block_error:0.2                 # 20% of worker-block attempts raise
     block_hang:0.1:0.5              # 10% of attempts sleep 0.5 s first
     block_nan:0.05                  # 5% of block outputs get NaN entries
+    block_kill:0.1                  # 10% of process-pool units kill their worker
     coeff_nan:1.0                   # corrupt multipole coefficients
     gmres_nan:0.1                   # corrupt GMRES matvec results
     fmm_nan:0.5                     # corrupt the FMM output potential
@@ -81,6 +82,7 @@ _MODES: dict[str, tuple[str, str, float]] = {
     "block_error": ("parallel.block", "error", 0.0),
     "block_hang": ("parallel.block", "hang", 0.25),
     "block_nan": ("parallel.block", "corrupt", 0.01),
+    "block_kill": ("parallel.kill", "error", 0.0),
     "coeff_nan": ("treecode.coeffs", "corrupt", 0.001),
     "gmres_nan": ("gmres.matvec", "corrupt", 0.01),
     "fmm_nan": ("fmm.potential", "corrupt", 0.01),
