@@ -220,9 +220,12 @@ def run_full(out_path: pathlib.Path) -> int:
     return 0
 
 
-def run_smoke() -> int:
+def run_smoke(out_path: pathlib.Path | None = None) -> int:
     """CI gate: compile a small plan, run 5 matvecs through each path,
-    require the compiled path to be no slower and exact to 1e-12."""
+    require the compiled path to be no slower and exact to 1e-12.
+
+    With ``out_path`` a BENCH_3-shaped smoke report is written for the
+    regression ledger (``python -m repro bench``)."""
     n, n_matvecs = 5000, 5
     pts = make_distribution("uniform", n, seed=1)
     q = unit_charges(n, seed=2, signed=True)
@@ -251,6 +254,27 @@ def run_smoke() -> int:
         f"compiled {t_plan:.2f} s (compile {plan.compile_time:.2f} s), "
         f"max diff {diff:.2e}"
     )
+    if out_path is not None:
+        report = {
+            "bench": "BENCH_3",
+            "mode": "smoke",
+            "treecode": [
+                {
+                    "n": n,
+                    "compile_s": plan.compile_time,
+                    "plan_mb": plan.memory_bytes / 1e6,
+                    "far_spilled": plan.n_far_spilled,
+                    "near_spilled": plan.n_near_spilled,
+                    "fallback_matvec_s": t_fb / n_matvecs,
+                    "plan_matvec_s": t_plan / n_matvecs,
+                    "speedup": t_fb / t_plan,
+                    "max_abs_diff": diff,
+                }
+            ],
+            "bem": None,
+        }
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
     if diff > TOL:
         print(f"FAIL: plan/fallback disagreement {diff:.2e} > {TOL}", file=sys.stderr)
         return 1
@@ -305,7 +329,7 @@ def run_full_cluster(out_path: pathlib.Path) -> int:
     return 0
 
 
-def run_smoke_cluster() -> int:
+def run_smoke_cluster(out_path: pathlib.Path | None = None) -> int:
     """CI gate for cluster plans: small instance, projected-memory and
     speedup thresholds.
 
@@ -325,6 +349,15 @@ def run_smoke_cluster() -> int:
         f"plan {row['plan_matvec_s']:.2f} s ({row['speedup']:.1f}x), "
         f"{row['plan_mb']:.0f} MB -> projected {projected_mb:.0f} MB at n=50k"
     )
+    if out_path is not None:
+        report = {
+            "bench": "BENCH_4",
+            "mode": "smoke",
+            "treecode_cluster": [row],
+            "projected_mb_50k": projected_mb,
+        }
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
     ok = True
     if projected_mb > budget / 1e6:
         print(
@@ -367,15 +400,15 @@ def main(argv=None) -> int:
     )
     ap.add_argument(
         "--out", type=pathlib.Path, default=None,
-        help="output path for the full report",
+        help="output path for the JSON report (optional for smoke modes)",
     )
     args = ap.parse_args(argv)
     if args.mode == "smoke":
-        return run_smoke_cluster()
+        return run_smoke_cluster(args.out)
     if args.mode == "full":
         return run_full_cluster(args.out or REPO_ROOT / "BENCH_4.json")
     if args.smoke:
-        return run_smoke()
+        return run_smoke(args.out)
     return run_full(args.out or REPO_ROOT / "BENCH_3.json")
 
 

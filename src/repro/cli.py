@@ -15,10 +15,23 @@ Observability (see :mod:`repro.obs`):
 * ``--metrics FILE`` writes the metrics registry (Prometheus text, or
   JSON when FILE ends in ``.json``);
 * ``--report FILE`` (profile only) writes the full
-  :class:`~repro.obs.RunRecorder` JSON report.
+  :class:`~repro.obs.RunRecorder` JSON report;
+* ``--journal FILE`` appends a structured JSONL run journal (see
+  :mod:`repro.obs.journal`): run start/end, phase completions, plan
+  compiles, retries/fallbacks/guard trips, checkpoint writes.
 
 The flags also work on plain subcommands, implicitly enabling
 observability for that run.
+
+``--backend {serial,thread,process}`` selects the table2 verification
+executor (plan-based for serial/process, so a profiled process run
+reports the same deterministic counters as a serial one).
+
+``python -m repro bench {record,compare}`` maintains the benchmark
+regression ledger (see :mod:`repro.bench`): ``record`` ingests
+``BENCH_*.json`` reports into ``benchmarks/history.jsonl``, ``compare``
+checks the newest report against history with per-series tolerances and
+exits nonzero on regression.
 
 Parallelism: ``--workers N`` is the single worker-count knob for the
 thread and process executors (it sets ``REPRO_NUM_WORKERS``, which
@@ -115,7 +128,12 @@ def _table2(args) -> str:
         else [("uniform8k", "uniform", 8000), ("non-uniform10k", "gaussian", 10000)]
     )
     rows = run_table2(
-        problems, n_procs=32, p0=args.p0, alpha=args.alpha, seed=_seed0(args)
+        problems,
+        n_procs=32,
+        p0=args.p0,
+        alpha=args.alpha,
+        seed=_seed0(args),
+        backend=getattr(args, "backend", None) or "thread",
     )
     return format_table(
         Table2Row.HEADERS,
@@ -240,6 +258,22 @@ def _profile_summary(report: dict) -> str:
     ]
     if flat:
         lines.append("counters: " + ", ".join(flat))
+    hist_lines = []
+    for name, val in sorted(report["metrics"].get("histograms", {}).items()):
+        if isinstance(val, dict) and "series" in val:
+            items = [(f"{name}{{{k}}}", v) for k, v in sorted(val["series"].items())]
+        else:
+            items = [(name, val)]
+        for label, h in items:
+            if not h.get("count"):
+                continue
+            qs = " ".join(
+                f"{q}={h[q]:.3g}" for q in ("p50", "p95", "p99") if q in h
+            )
+            hist_lines.append(f"  {label:<32} n={h['count']:<6} {qs}")
+    if hist_lines:
+        lines.append("histogram quantiles:")
+        lines.extend(hist_lines)
     return "\n".join(lines)
 
 
@@ -283,6 +317,15 @@ def _interrupted(args) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "bench":
+        # the bench ledger has its own record/compare grammar; dispatch
+        # before the experiment parser sees (and rejects) it
+        from .bench import bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables, figures and ablations.",
@@ -323,6 +366,13 @@ def main(argv=None) -> int:
         "backends); overrides REPRO_NUM_WORKERS",
     )
     parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="table2 verification executor: block-based threads (default), "
+        "or a compiled plan run serially / on a forked process pool",
+    )
+    parser.add_argument(
         "--inject-faults",
         metavar="SPEC",
         default=None,
@@ -351,7 +401,18 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="with 'profile': write the full RunRecorder JSON report",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="append a structured JSONL run journal (run start/end, phases, "
+        "plan compiles, recovery events, checkpoint writes)",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend and args.experiment not in ("table2", "all") and not (
+        args.experiment == "profile" and args.target == "table2"
+    ):
+        parser.error("--backend applies to table2 (directly, via profile, or 'all')")
 
     if args.workers is not None:
         if args.workers < 1:
@@ -362,21 +423,53 @@ def main(argv=None) -> int:
         # var in this process and in forked pool workers alike
         os.environ[ENV_WORKERS] = str(args.workers)
 
-    if args.inject_faults is not None:
-        from .robust import FaultInjector, parse_fault_spec, set_injector
-        from .robust.faults import active_injector
+    def run() -> int:
+        if args.inject_faults is not None:
+            from .robust import FaultInjector, parse_fault_spec, set_injector
+            from .robust.faults import active_injector
 
+            try:
+                rules = parse_fault_spec(args.inject_faults)
+            except ValueError as exc:
+                parser.error(str(exc))
+            previous = active_injector()
+            set_injector(FaultInjector(rules, seed=_seed0(args)))
+            try:
+                return _dispatch(parser, args)
+            finally:
+                set_injector(previous)
+        return _dispatch(parser, args)
+
+    if not args.journal:
+        return run()
+
+    from .obs import journal
+
+    code: int | None = None
+    with journal.Journal(args.journal) as j:
+        previous_journal = journal.set_journal(j)
+        j.emit(
+            "run_start",
+            command=args.experiment,
+            target=args.target,
+            argv=argv,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            backend=args.backend,
+            inject_faults=args.inject_faults,
+        )
         try:
-            rules = parse_fault_spec(args.inject_faults)
-        except ValueError as exc:
-            parser.error(str(exc))
-        previous = active_injector()
-        set_injector(FaultInjector(rules, seed=_seed0(args)))
-        try:
-            return _dispatch(parser, args)
+            code = run()
+            return code
         finally:
-            set_injector(previous)
-    return _dispatch(parser, args)
+            status = (
+                "ok" if code == 0
+                else "interrupted" if code == 130
+                else "error"
+            )
+            j.emit("run_end", status=status, exit_code=code)
+            journal.set_journal(previous_journal)
 
 
 def _dispatch(parser, args) -> int:
@@ -402,7 +495,8 @@ def _dispatch(parser, args) -> int:
         parser.error("TARGET is only valid with the 'profile' subcommand")
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    observe = bool(args.trace or args.metrics)
+    # --journal implies observability: phase events come from the tracer
+    observe = bool(args.trace or args.metrics or args.journal)
     if observe:
         from .obs import metrics as obs_metrics
         from .obs import tracing

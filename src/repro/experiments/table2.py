@@ -22,6 +22,7 @@ from ..obs.tracing import stopwatch
 from ..parallel import (
     MachineModel,
     evaluate_parallel,
+    evaluate_plan_parallel,
     make_blocks,
     profile_blocks,
     resolve_workers,
@@ -74,6 +75,7 @@ def run_table2(
     alpha: float = 0.4,
     n_threads: int | None = None,
     seed: int = 0,
+    backend: str = "thread",
 ) -> list[Table2Row]:
     """Run both methods on each problem; default instances mirror the
     paper's uniform40k / non-uniform46k (scaled by the caller).
@@ -81,7 +83,20 @@ def run_table2(
     ``n_threads=None`` resolves through
     :func:`~repro.parallel.resolve_workers` (``--workers`` /
     ``REPRO_NUM_WORKERS``, else 2 here).
+
+    ``backend`` selects how the verification evaluation runs:
+    ``"thread"`` (default) uses the block-based thread executor;
+    ``"serial"`` and ``"process"`` compile an evaluation plan and run
+    it through :func:`~repro.parallel.evaluate_plan_parallel` on one
+    in-process worker or a forked process pool respectively.  The plan
+    backends record identical deterministic work counters (the plan's
+    frozen interaction accounting), so a profiled ``process`` run can
+    be compared counter-for-counter against a ``serial`` one.
     """
+    if backend not in ("serial", "thread", "process"):
+        raise ValueError(
+            f"backend must be 'serial', 'thread' or 'process', got {backend!r}"
+        )
     n_threads = resolve_workers(n_threads, default=2)
     if problems is None:
         problems = [
@@ -103,9 +118,21 @@ def run_table2(
                 serial = tc.evaluate()
             serial_time = sw.elapsed
 
-            par = evaluate_parallel(tc, n_threads=n_threads, w=w)
+            if backend == "thread":
+                par = evaluate_parallel(tc, n_threads=n_threads, w=w)
+                tol = {"rtol": 1e-12, "atol": 1e-14}
+            else:
+                plan = tc.compile_plan()
+                par = evaluate_plan_parallel(
+                    plan,
+                    q,
+                    n_threads=1 if backend == "serial" else n_threads,
+                    backend="thread" if backend == "serial" else "process",
+                )
+                # plan arithmetic regroups sums; agreement is to rounding
+                tol = {"rtol": 1e-9, "atol": 1e-12}
             matches = bool(
-                np.allclose(par.potential, serial.potential, rtol=1e-12, atol=1e-14)
+                np.allclose(par.potential, serial.potential, **tol)
             )
 
             prof = profile_blocks(tc, blocks)

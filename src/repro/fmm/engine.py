@@ -32,6 +32,7 @@ from ..multipole.harmonics import (
     term_count,
 )
 from ..multipole.translations import l2l, m2l, m2l_operator, m2m
+from ..obs import journal
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
 from ..robust.faults import maybe_corrupt
@@ -329,6 +330,14 @@ class UniformFMM:
             REGISTRY.gauge(
                 "plan_memory_bytes", "materialized bytes of the most recent plan"
             ).set(self.plan_memory_bytes)
+        journal.emit(
+            "plan_compile",
+            mode="fmm",
+            targets=int(self.points.shape[0]),
+            memory_bytes=self.plan_memory_bytes,
+            compile_s=float(self.plan_compile_time),
+            level=int(self.L),
+        )
         return self._plan
 
     # ------------------------------------------------------------------

@@ -9,7 +9,11 @@ Three cooperating pieces, all off by default and near-free when off:
   exposition;
 * :mod:`repro.obs.recorder` — :class:`RunRecorder`, snapshotting one
   evaluation (spans + metrics + per-level Theorem-1 bound accounting)
-  into a single serializable report.
+  into a single serializable report;
+* :mod:`repro.obs.journal` — :class:`Journal`, an append-only JSONL
+  event log (schema-versioned envelope) recording run lifecycle,
+  phase transitions, plan compiles, robustness events and bound-ledger
+  summaries as they happen (the CLI's ``--journal FILE``).
 
 Enable globally with :func:`repro.obs.enable` (or the CLI's
 ``profile`` subcommand / ``--trace`` / ``--metrics`` flags); the
@@ -17,6 +21,7 @@ compute layers — treecode, FMM, BEM/GMRES, parallel executor — are
 pre-instrumented.
 """
 
+from .journal import Journal, get_journal, set_journal
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import RunRecorder
 from .tracing import (
@@ -35,9 +40,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Journal",
     "MetricsRegistry",
     "RunRecorder",
     "Tracer",
+    "get_journal",
+    "set_journal",
     "disable",
     "enable",
     "get_tracer",

@@ -1,0 +1,191 @@
+"""Structured run journal: an append-only JSONL event log.
+
+The tracer and metrics registry answer "where did the time go" and
+"how much work was done" *after* a run finishes; the journal is the
+durable, incremental record of *what happened while it ran*.  Every
+significant state transition — run start/end, compute phase
+completions, plan compiles with their memory footprint, every
+retry/fallback/guard trip absorbed by :mod:`repro.robust`, checkpoint
+writes and resumes, per-level Theorem-1 bound-ledger summaries — is
+appended as one JSON line the moment it happens, so an interrupted or
+crashed run leaves a readable forensic trail up to the failure instant.
+
+Envelope
+--------
+Each line is one event wrapped in a schema-versioned envelope::
+
+    {"v": 1, "seq": 12, "ts": 1754550000.123, "pid": 4242,
+     "event": "retry", "data": {"site": "parallel.block", ...}}
+
+* ``v`` — schema version (:data:`SCHEMA_VERSION`), bumped on any
+  incompatible envelope change so downstream tooling can dispatch;
+* ``seq`` — monotonically increasing per journal instance, making gaps
+  (lost writes) detectable;
+* ``ts`` — Unix epoch seconds (wall clock, cross-run comparable);
+* ``pid`` — the writing process;
+* ``event`` / ``data`` — the event type and its payload.
+
+Concurrency
+-----------
+Writes are serialized by a lock and flushed per line; the file is
+opened in append mode, so a journal can be pointed at an existing file
+to extend it.  A journal inherited by a *forked* process-pool worker is
+inert there: the owning pid is recorded at construction and
+:meth:`Journal.emit` in any other process is a no-op, preventing
+interleaved half-lines from workers (worker activity reaches the
+parent's journal through the merged telemetry snapshots instead).
+
+Usage::
+
+    from repro.obs import journal
+
+    with journal.Journal("run.jsonl") as j:
+        journal.set_journal(j)
+        j.emit("run_start", name="table2", argv=sys.argv[1:])
+        ...                      # instrumented code emits as it runs
+        j.emit("run_end", status="ok", exit_code=0)
+    journal.set_journal(None)
+
+Instrumented call sites use the module-level :func:`emit`, which is a
+single ``is None`` check when no journal is active.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PHASE_SPANS",
+    "Journal",
+    "set_journal",
+    "get_journal",
+    "emit",
+    "maybe_phase",
+    "read_journal",
+]
+
+SCHEMA_VERSION = 1
+
+#: Span names significant enough to journal as ``phase`` events when a
+#: journal is active.  The full span stream stays in the tracer; the
+#: journal records only these coarse compute-phase completions.
+PHASE_SPANS = frozenset(
+    {
+        "treecode.build",
+        "treecode.upward",
+        "treecode.traverse",
+        "treecode.eval",
+        "treecode.evaluate",
+        "fmm.evaluate",
+        "plan.compile",
+        "plan.eval",
+        "parallel.evaluate",
+        "parallel.plan_execute",
+        "bem.matvec",
+        "gmres.cycle",
+    }
+)
+
+
+def _jsonable(obj):
+    """Best-effort JSON coercion for event payloads (numpy scalars,
+    paths, anything with a sensible str)."""
+    for caster in (int, float):
+        try:
+            return caster(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+class Journal:
+    """Append-only JSONL event log with a schema-versioned envelope."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._fh = open(self.path, "a")
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._owner_pid = os.getpid()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed and os.getpid() == self._owner_pid:
+                self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- writing -------------------------------------------------------
+    def emit(self, event: str, **data) -> None:
+        """Append one event (no-op after close or in a forked child)."""
+        if self._closed or os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            line = json.dumps(
+                {
+                    "v": SCHEMA_VERSION,
+                    "seq": self._seq,
+                    "ts": time.time(),
+                    "pid": self._owner_pid,
+                    "event": event,
+                    "data": data,
+                },
+                default=_jsonable,
+            )
+            self._seq += 1
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+
+#: The active journal used by the module-level :func:`emit` hooks.
+_active: Journal | None = None
+
+
+def set_journal(journal: Journal | None) -> Journal | None:
+    """Install ``journal`` as the active journal; returns the previous
+    one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = journal
+    return previous
+
+
+def get_journal() -> Journal | None:
+    return _active
+
+
+def emit(event: str, **data) -> None:
+    """Emit to the active journal; one ``is None`` check when inactive."""
+    if _active is not None:
+        _active.emit(event, **data)
+
+
+def maybe_phase(name: str, dur_s: float, args: dict) -> None:
+    """Tracer hook: journal a completed span iff it is a known phase."""
+    if _active is not None and name in PHASE_SPANS:
+        _active.emit("phase", name=name, dur_s=dur_s, args=dict(args))
+
+
+def read_journal(path: str) -> list[dict]:
+    """Parse a journal file back into event dicts (testing/tooling)."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

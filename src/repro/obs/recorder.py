@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import time
 
-from . import metrics, tracing
+from . import journal, metrics, tracing
 
 __all__ = ["RunRecorder"]
 
@@ -97,6 +97,15 @@ class RunRecorder:
         self._chrome = tracing.get_tracer().to_chrome_trace()
         self._metrics = metrics.REGISTRY.to_dict()
         tracing.set_enabled(self._was_enabled)
+        journal.emit(
+            "run_summary",
+            name=self.name,
+            wall_s=float(self.wall_time),
+            spans=len(self._spans),
+            counters=dict(self._metrics.get("counters", {})),
+            treecode_runs=len(self._treecode_runs),
+            gmres_runs=len(self._gmres_runs),
+        )
         return False
 
     # -- structured accounting -----------------------------------------
@@ -108,7 +117,16 @@ class RunRecorder:
         Theorem-1 bounds) are flattened into the report.
         """
         stats = getattr(result, "stats", result)
-        self._treecode_runs.append({"label": label, "stats": _stats_dict(stats)})
+        flat = _stats_dict(stats)
+        self._treecode_runs.append({"label": label, "stats": flat})
+        by_level = flat.get("bound_by_level")
+        if by_level:
+            journal.emit(
+                "bound_ledger",
+                label=label,
+                total=float(sum(by_level.values())),
+                by_level={k: float(v) for k, v in by_level.items()},
+            )
 
     def record_gmres(self, label: str, result) -> None:
         """Attach one GMRES solve's residual trajectory."""

@@ -18,6 +18,16 @@ Design constraints:
   can trace worker blocks concurrently; nesting is expressed by
   interval containment within a thread, which is exactly how the Chrome
   ``"X"`` (complete) event phase renders flame graphs.
+* **Process-aware.**  Every event records the pid of the process that
+  produced it at *record* time (not export time), so span snapshots
+  serialized out of forked pool workers and merged into the parent via
+  :meth:`Tracer.ingest` keep their true worker pid — the exported
+  Chrome trace renders a multi-process flame graph in Perfetto, one
+  process lane per worker.  ``perf_counter`` timestamps are kept
+  absolute internally (the epoch is subtracted only at export), and on
+  the platforms where the process executor exists (fork) the monotonic
+  clock is shared across parent and children, so merged worker events
+  land on the parent's timeline without any clock translation.
 * **Duration available to the caller.**  :func:`stopwatch` is the
   always-timing variant: it measures ``elapsed`` whether or not tracing
   is enabled (emitting a trace event only when it is), so code that
@@ -41,6 +51,8 @@ import json
 import os
 import threading
 import time
+
+from . import journal
 
 __all__ = [
     "Span",
@@ -148,13 +160,17 @@ class Tracer:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._events: list[tuple] = []  # (name, cat, tid, t0, t1, args)
+        # (name, cat, pid, tid, t0, t1, args) — pid captured per event so
+        # snapshots merged from forked workers keep their true process id
+        self._events: list[tuple] = []
         self._epoch = time.perf_counter()
 
     def _record(self, sp: Span) -> None:
+        pid = os.getpid()
         tid = threading.get_ident()
         with self._lock:
-            self._events.append((sp.name, sp.cat, tid, sp.t0, sp.t1, sp.args))
+            self._events.append((sp.name, sp.cat, pid, tid, sp.t0, sp.t1, sp.args))
+        journal.maybe_phase(sp.name, sp.t1 - sp.t0, sp.args)
 
     def __len__(self) -> int:
         with self._lock:
@@ -174,14 +190,42 @@ class Tracer:
             {
                 "name": name,
                 "cat": cat,
+                "pid": pid,
                 "tid": tid,
                 "start": t0 - epoch,
                 "end": t1 - epoch,
                 "dur": t1 - t0,
                 "args": dict(args),
             }
-            for name, cat, tid, t0, t1, args in snap
+            for name, cat, pid, tid, t0, t1, args in snap
         ]
+
+    def snapshot(self) -> list[list]:
+        """Serializable raw events for cross-process merging.
+
+        Timestamps stay absolute (``perf_counter`` values), so a parent
+        tracer can :meth:`ingest` the list and export everything on its
+        own epoch.  The payload is plain lists, picklable through a
+        process pool's result channel.
+        """
+        with self._lock:
+            return [
+                [name, cat, pid, tid, t0, t1, dict(args)]
+                for name, cat, pid, tid, t0, t1, args in self._events
+            ]
+
+    def ingest(self, events: list) -> None:
+        """Merge a :meth:`snapshot` from another process (or tracer).
+
+        Events keep the pid/tid they were recorded under, so a merged
+        export shows each worker in its own process lane.
+        """
+        rows = [
+            (str(name), str(cat), int(pid), int(tid), float(t0), float(t1), dict(args))
+            for name, cat, pid, tid, t0, t1, args in events
+        ]
+        with self._lock:
+            self._events.extend(rows)
 
     def summary(self) -> list[dict]:
         """Aggregate spans by name: call count and total seconds,
@@ -199,8 +243,11 @@ class Tracer:
 
     def to_chrome_trace(self) -> dict:
         """Chrome trace event format (the ``"X"`` complete-event phase);
-        load the exported JSON in Perfetto or ``chrome://tracing``."""
-        pid = os.getpid()
+        load the exported JSON in Perfetto or ``chrome://tracing``.
+
+        Each event carries the pid recorded when the span closed, so a
+        trace holding ingested worker snapshots renders as a
+        multi-process flame graph (one lane per worker pid)."""
         with self._lock:
             snap = list(self._events)
             epoch = self._epoch
@@ -215,7 +262,7 @@ class Tracer:
                 "dur": (t1 - t0) * 1e6,
                 "args": dict(args),
             }
-            for name, cat, tid, t0, t1, args in snap
+            for name, cat, pid, tid, t0, t1, args in snap
         ]
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 

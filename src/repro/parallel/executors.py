@@ -43,8 +43,9 @@ from ..core.treecode import Treecode, TreecodeStats, record_eval_metrics
 from ..direct import pairwise_potential
 from ..multipole.expansion import m2p_rows
 from ..multipole.harmonics import term_count
+from ..obs import journal
 from ..obs.metrics import REGISTRY
-from ..obs.tracing import is_enabled, span, stopwatch
+from ..obs.tracing import get_tracer, is_enabled, span, stopwatch
 from ..perf.scatter import scatter_add
 from ..robust.faults import (
     InjectedFault,
@@ -200,6 +201,9 @@ def _recover_block(tc: Treecode, pos: np.ndarray, exc: Exception):
             REGISTRY.counter(
                 "block_fallbacks", "blocks recovered via graceful degradation"
             ).inc()
+            journal.emit(
+                "fallback", site="parallel.block", kind="serial", targets=int(pos.size)
+            )
             return vals, s
         except Exception:
             with span("robust.fallback", kind="direct", targets=int(pos.size)):
@@ -211,6 +215,9 @@ def _recover_block(tc: Treecode, pos: np.ndarray, exc: Exception):
             REGISTRY.counter(
                 "block_fallbacks_direct", "blocks recovered via direct summation"
             ).inc()
+            journal.emit(
+                "fallback", site="parallel.block", kind="direct", targets=int(pos.size)
+            )
             return vals, s
 
 
@@ -341,6 +348,7 @@ def _plan_unit_redo(plan, ctx, q_sorted, i: int, exc: Exception, attempts: int):
             REGISTRY.counter(
                 "block_fallbacks", "blocks recovered via graceful degradation"
             ).inc()
+            journal.emit("fallback", site="parallel.block", kind="plan_unit", unit=i)
             return tids, vals
         except Exception as final:
             raise BlockEvaluationError(
@@ -366,6 +374,18 @@ def _plan_process_unit(i: int):
     (``os._exit``), surfacing to the parent as a broken pool; the
     ``parallel.block`` site and retry policy behave exactly as in the
     thread backend.
+
+    Telemetry: when observability was enabled at fork time, the worker
+    runs its own tracer/metrics registry per unit — cleared at unit
+    start (dropping state inherited from the parent or a previous
+    unit), snapshotted at unit end — and ships the snapshot back inside
+    the result payload.  The parent merges every snapshot, so spans
+    land in the exported trace under this worker's true pid and
+    counters/histograms recorded here (retries, injected faults, block
+    timings) sum into the parent registry exactly as the thread
+    backend's would.  A unit that fails all its retries loses its
+    snapshot (only the exception travels back); the parent's serial
+    redo re-records that unit's recovery on the parent side.
     """
     st = _PROC_STATE
     plan, ctx, q_sorted, policy = st["plan"], st["ctx"], st["q"], st["policy"]
@@ -373,6 +393,10 @@ def _plan_process_unit(i: int):
         maybe_fault("parallel.kill")
     except InjectedFault:
         os._exit(3)  # simulated hard crash: no cleanup, no exception
+    obs_on = is_enabled()
+    if obs_on:
+        get_tracer().clear()
+        REGISTRY.reset()
 
     def attempt():
         maybe_fault("parallel.block")
@@ -381,16 +405,40 @@ def _plan_process_unit(i: int):
         check_finite("parallel.block", vals, context="plan unit output")
         return tids, vals
 
-    try:
-        (tids, vals), attempts = retry_call(
-            attempt, policy, site="parallel.block", seed=i
-        )
-    except RetryExhausted as exc:
-        # multi-arg exception constructors (RetryExhausted, the chained
-        # InjectedFault) do not survive pickling back to the parent —
-        # flatten to a plain RuntimeError the pool can transport
-        raise RuntimeError(str(exc)) from None
-    return tids, vals, attempts
+    with span("parallel.block", unit=i) as sp:
+        try:
+            (tids, vals), attempts = retry_call(
+                attempt, policy, site="parallel.block", seed=i
+            )
+        except RetryExhausted as exc:
+            # multi-arg exception constructors (RetryExhausted, the chained
+            # InjectedFault) do not survive pickling back to the parent —
+            # flatten to a plain RuntimeError the pool can transport
+            raise RuntimeError(str(exc)) from None
+    telemetry = None
+    if obs_on:
+        REGISTRY.histogram(
+            "parallel_block_seconds", "wall time per worker block"
+        ).observe(sp.elapsed)
+        telemetry = {"spans": get_tracer().snapshot(), "metrics": REGISTRY.to_dict()}
+    return tids, vals, attempts, telemetry
+
+
+def _merge_worker_telemetry(telemetry: dict | None) -> None:
+    """Fold one worker snapshot into the parent tracer/registry.
+
+    Spans keep their worker pid (multi-process flame graph in
+    Perfetto); counters sum, gauges take the worker's last write,
+    histograms merge bucket-wise — so a process-backed run reports the
+    same deterministic counters as a serial run of the same plan.
+    """
+    if telemetry is None:
+        return
+    get_tracer().ingest(telemetry["spans"])
+    REGISTRY.merge_snapshot(telemetry["metrics"])
+    REGISTRY.counter(
+        "worker_snapshots_merged", "worker telemetry snapshots merged by the parent"
+    ).inc()
 
 
 def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery):
@@ -443,9 +491,10 @@ def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery
                 if broken:
                     break
                 try:
-                    tids, vals, attempts = fut.result()
+                    tids, vals, attempts, telemetry = fut.result()
                     results[i] = (tids, vals)
                     recovery["retries"] += attempts - 1
+                    _merge_worker_telemetry(telemetry)
                 except BrokenProcessPool:
                     broken = True
                 except Exception as exc:
@@ -463,6 +512,11 @@ def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery
             REGISTRY.counter(
                 "pool_breakages", "process pools broken by worker death"
             ).inc()
+            journal.emit(
+                "pool_breakage",
+                backend="process",
+                units_lost=n_units - len(results),
+            )
             for i in range(n_units):
                 if i not in results:
                     exc = BrokenProcessPool("worker died mid-run")

@@ -79,6 +79,7 @@ from ..multipole.harmonics import (
     term_count,
 )
 from ..multipole.legendre import legendre_theta_derivative_table
+from ..obs import journal
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
 from ..robust.faults import maybe_corrupt
@@ -286,6 +287,15 @@ class CompiledPlan:
             REGISTRY.gauge(
                 "plan_memory_bytes", "materialized bytes of the most recent plan"
             ).set(self.memory_bytes)
+        journal.emit(
+            "plan_compile",
+            mode="cluster" if type(self).__name__ == "ClusterPlan" else "target",
+            targets=int(tgt.shape[0]),
+            memory_bytes=int(self.memory_bytes),
+            compile_s=float(self.compile_time),
+            units=int(self.n_units),
+            far_spilled=int(self.n_far_spilled),
+        )
 
     # -- compilation ---------------------------------------------------
     def _compile(self, lists: InteractionLists) -> None:

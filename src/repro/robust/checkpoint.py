@@ -29,6 +29,7 @@ import json
 import os
 import tempfile
 
+from ..obs import journal
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import span
 
@@ -95,6 +96,7 @@ class Checkpoint:
         REGISTRY.counter(
             "checkpoint_rows_written", "experiment steps persisted to checkpoints"
         ).inc()
+        journal.emit("checkpoint_write", path=self.path, key=key, rows=len(self._rows))
 
     def _flush(self) -> None:
         doc = {"version": _FORMAT_VERSION, "meta": self.meta, "rows": self._rows}
@@ -129,6 +131,7 @@ def cached_step(checkpoint: Checkpoint | None, key: str, fn):
         REGISTRY.counter(
             "checkpoint_rows_resumed", "experiment steps replayed from checkpoints"
         ).inc()
+        journal.emit("checkpoint_resume", path=checkpoint.path, key=key)
         with span("robust.resume", key=key):
             return checkpoint.get(key)
     value = fn()

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import journal
 from ..obs.metrics import REGISTRY
 
 __all__ = [
@@ -162,10 +163,11 @@ class FaultInjector:
         )
         return bool(rng.random() < rule.rate), k, rng
 
-    def _record(self, rule: FaultRule) -> None:
+    def _record(self, rule: FaultRule, site: str) -> None:
         REGISTRY.counter(
             "faults_injected", "faults fired by the injection harness"
         ).inc()
+        journal.emit("fault_injected", site=site, mode=rule.mode)
 
     def maybe_fault(self, site: str) -> None:
         """Fire error/hang rules armed at ``site`` (may raise or sleep)."""
@@ -173,12 +175,12 @@ class FaultInjector:
             if rule.kind == "hang":
                 fired, _, _ = self._draw(rule)
                 if fired:
-                    self._record(rule)
+                    self._record(rule, site)
                     time.sleep(rule.param)
             elif rule.kind == "error":
                 fired, k, _ = self._draw(rule)
                 if fired:
-                    self._record(rule)
+                    self._record(rule, site)
                     raise InjectedFault(site, rule.mode, k)
 
     def maybe_corrupt(self, site: str, arr: np.ndarray) -> np.ndarray:
@@ -188,7 +190,7 @@ class FaultInjector:
                 continue
             fired, _, rng = self._draw(rule)
             if fired and arr.size:
-                self._record(rule)
+                self._record(rule, site)
                 arr = np.array(arr, copy=True)
                 n_bad = max(1, int(round(rule.param * arr.size)))
                 idx = rng.choice(arr.size, size=min(n_bad, arr.size), replace=False)

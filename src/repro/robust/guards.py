@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import journal
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import span
 
@@ -56,6 +57,7 @@ class BoundAccountingError(NumericalCorruptionError):
 
 def _trip(site: str, reason: str) -> None:
     REGISTRY.counter("guard_trips", "numerical guard violations detected").inc()
+    journal.emit("guard_trip", site=site, reason=reason)
     with span("robust.guard_trip", site=site, reason=reason):
         pass
 

@@ -21,6 +21,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from ..obs import journal
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import span
 
@@ -118,6 +119,9 @@ def retry_call(fn, policy: RetryPolicy, site: str, seed: int = 0):
             REGISTRY.counter(
                 "block_retries", "worker-block attempts retried after a failure"
             ).inc()
+            journal.emit(
+                "retry", site=site, attempt=attempt, error=type(exc).__name__
+            )
             delay = min(policy.max_delay, jitter.uniform(policy.base_delay, delay * 3))
             with span(
                 "robust.retry", site=site, attempt=attempt, error=type(exc).__name__

@@ -1,0 +1,207 @@
+"""Tests for the benchmark regression ledger (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.bench import compare, extract_series, load_history, markdown_table, record
+
+BENCH3 = {
+    "bench": "BENCH_3",
+    "mode": "smoke",
+    "treecode": [
+        {
+            "n": 5000,
+            "compile_s": 2.0,
+            "plan_mb": 250.0,
+            "far_spilled": 0,
+            "near_spilled": 2,
+            "fallback_matvec_s": 3.0,
+            "plan_matvec_s": 0.15,
+            "speedup": 20.0,
+            "max_abs_diff": 1e-13,
+        }
+    ],
+    "bem": None,
+}
+
+BENCH4 = {
+    "bench": "BENCH_4",
+    "mode": "smoke",
+    "treecode_cluster": [
+        {
+            "n": 8000,
+            "compile_s": 4.0,
+            "plan_mb": 300.0,
+            "far_spilled": 0,
+            "speedup": 5.0,
+            "plan_matvec_s": 0.4,
+            "fallback_matvec_s": 2.0,
+            "direct_sample_within_ledger": True,
+            "direct_sample_min_headroom": 1e-4,
+            "pc_min_headroom": 2e-4,
+        }
+    ],
+    "projected_mb_50k": 1800.0,
+}
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_extract_series_names_encode_instance():
+    s3 = extract_series(BENCH3)
+    assert s3["treecode/n5000/speedup"] == 20.0
+    assert s3["treecode/n5000/plan_mb"] == 250.0
+    assert s3["treecode/n5000/max_abs_diff"] == 1e-13
+    # booleans and non-numerics are not series
+    assert not any("within_ledger" in k for k in extract_series(BENCH4))
+    s4 = extract_series(BENCH4)
+    assert s4["cluster/n8000/direct_sample_min_headroom"] == 1e-4
+    assert s4["cluster/projected_mb_50k"] == 1800.0
+    assert extract_series({"bench": "unknown"}) == {}
+
+
+def test_record_appends_and_loads(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    r = _write(tmp_path, "b3.json", BENCH3)
+    record([r], hist)
+    record([r], hist)
+    entries = load_history(hist)
+    assert len(entries) == 2
+    assert entries[0]["bench"] == "BENCH_3"
+    assert entries[0]["series"]["treecode/n5000/speedup"] == 20.0
+    assert entries[0]["v"] == bench.LEDGER_VERSION
+
+
+def test_compare_against_empty_history_is_ok(tmp_path):
+    r = _write(tmp_path, "b3.json", BENCH3)
+    rows, ok = compare([r], str(tmp_path / "missing.jsonl"))
+    assert ok
+    by = {x["series"]: x for x in rows}
+    # history-dependent rules report "new"; absolute rules still judge
+    assert by["treecode/n5000/speedup"]["status"] == "new"
+    assert by["treecode/n5000/max_abs_diff"]["status"] == "ok"
+    assert by["treecode/n5000/compile_s"]["status"] == "info"
+
+
+def test_compare_flags_regressions(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    record([_write(tmp_path, "base.json", BENCH3)], hist)
+    bad = json.loads(json.dumps(BENCH3))
+    row = bad["treecode"][0]
+    row["speedup"] = 20.0 * 0.4  # below the 50% floor
+    row["plan_mb"] = 250.0 * 1.3  # above the 25% ceiling
+    row["max_abs_diff"] = 1e-10  # above the absolute 1e-11 ceiling
+    rows, ok = compare([_write(tmp_path, "bad.json", bad)], hist)
+    assert not ok
+    status = {x["series"]: x["status"] for x in rows}
+    assert status["treecode/n5000/speedup"] == "REGRESSION"
+    assert status["treecode/n5000/plan_mb"] == "REGRESSION"
+    assert status["treecode/n5000/max_abs_diff"] == "REGRESSION"
+    assert status["treecode/n5000/plan_matvec_s"] == "info"  # timings never gate
+
+
+def test_compare_tolerates_noise_within_bounds(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    record([_write(tmp_path, "base.json", BENCH3)], hist)
+    noisy = json.loads(json.dumps(BENCH3))
+    noisy["treecode"][0]["speedup"] = 20.0 * 0.6  # noisy but above floor
+    noisy["treecode"][0]["plan_mb"] = 250.0 * 1.1
+    rows, ok = compare([_write(tmp_path, "noisy.json", noisy)], hist)
+    assert ok
+
+
+def test_headroom_floor_is_absolute(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    record([_write(tmp_path, "base.json", BENCH4)], hist)
+    bad = json.loads(json.dumps(BENCH4))
+    bad["treecode_cluster"][0]["direct_sample_min_headroom"] = -1e-6
+    rows, ok = compare([_write(tmp_path, "bad.json", bad)], hist)
+    assert not ok
+    status = {x["series"]: x["status"] for x in rows}
+    assert status["cluster/n8000/direct_sample_min_headroom"] == "REGRESSION"
+
+
+def test_baseline_is_median_of_recent_window(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    for speedup in (10.0, 11.0, 12.0, 13.0, 14.0, 100.0):
+        rep = json.loads(json.dumps(BENCH3))
+        rep["treecode"][0]["speedup"] = speedup
+        record([_write(tmp_path, "r.json", rep)], hist)
+    # window of 5 -> (11, 12, 13, 14, 100), median 13; 10.0 is outside
+    rows, _ = compare([_write(tmp_path, "new.json", BENCH3)], hist)
+    by = {x["series"]: x for x in rows}
+    assert by["treecode/n5000/speedup"]["baseline"] == 13.0
+
+
+def test_disjoint_sizes_never_mix(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    record([_write(tmp_path, "b3.json", BENCH3)], hist)
+    other = json.loads(json.dumps(BENCH3))
+    other["treecode"][0]["n"] = 2000
+    other["treecode"][0]["speedup"] = 1.0  # would regress if sizes mixed
+    rows, ok = compare([_write(tmp_path, "o.json", other)], hist)
+    assert ok
+    by = {x["series"]: x for x in rows}
+    assert by["treecode/n2000/speedup"]["status"] == "new"
+
+
+def test_markdown_table_shape():
+    rows = [
+        {
+            "series": "treecode/n5000/speedup",
+            "baseline": 20.0,
+            "value": 10.0,
+            "delta": -0.5,
+            "status": "REGRESSION",
+        }
+    ]
+    table = markdown_table(rows)
+    lines = table.splitlines()
+    assert lines[0].startswith("| series |")
+    assert "**REGRESSION**" in lines[2]
+    assert "-50.0%" in lines[2]
+
+
+def test_bench_main_exit_codes(tmp_path, capsys):
+    hist = str(tmp_path / "history.jsonl")
+    good = _write(tmp_path, "good.json", BENCH3)
+    assert bench.bench_main(["record", good, "--history", hist]) == 0
+    md = str(tmp_path / "delta.md")
+    assert (
+        bench.bench_main(["compare", good, "--history", hist, "--markdown", md])
+        == 0
+    )
+    assert "| series |" in open(md).read()
+    bad = json.loads(json.dumps(BENCH3))
+    bad["treecode"][0]["speedup"] = 0.1
+    badp = _write(tmp_path, "bad.json", bad)
+    assert bench.bench_main(["compare", badp, "--history", hist]) == 1
+    capsys.readouterr()
+
+
+def test_bench_main_record_on_green_compare(tmp_path):
+    hist = str(tmp_path / "history.jsonl")
+    good = _write(tmp_path, "good.json", BENCH3)
+    assert (
+        bench.bench_main(["compare", good, "--history", hist, "--record"]) == 0
+    )
+    assert len(load_history(hist)) == 1
+
+
+def test_cli_dispatches_bench(tmp_path, capsys):
+    """'python -m repro bench ...' reaches bench_main through cli.main."""
+    from repro.cli import main
+
+    hist = str(tmp_path / "history.jsonl")
+    good = _write(tmp_path, "good.json", BENCH3)
+    assert main(["bench", "record", good, "--history", hist]) == 0
+    assert len(load_history(hist)) == 1
+    with pytest.raises(SystemExit):
+        main(["bench", "record", str(tmp_path / "nope.json"), "--history", hist])
+    capsys.readouterr()

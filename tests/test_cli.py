@@ -166,3 +166,45 @@ def test_seed_flag_reaches_command(monkeypatch):
     monkeypatch.setitem(cli._COMMANDS, "fig2", fake)
     assert cli.main(["fig2", "--seed", "42"]) == 0
     assert seen["seed"] == 42
+
+
+def test_backend_flag_reaches_table2(monkeypatch):
+    seen = {}
+
+    def fake(args):
+        seen["backend"] = args.backend
+        return "OUT"
+
+    monkeypatch.setitem(cli._COMMANDS, "table2", fake)
+    assert cli.main(["table2", "--backend", "process", "--workers", "2"]) == 0
+    assert seen["backend"] == "process"
+    assert cli.main(["profile", "table2", "--backend", "serial"]) == 0
+
+
+def test_backend_flag_rejected_off_table2():
+    with pytest.raises(SystemExit):
+        cli.main(["table1", "--backend", "process"])
+    with pytest.raises(SystemExit):
+        cli.main(["profile", "fig2", "--backend", "serial"])
+    with pytest.raises(SystemExit):
+        cli.main(["table2", "--backend", "nosuch"])
+
+
+def test_journal_flag_wraps_failing_run(monkeypatch, tmp_path):
+    """run_end is journaled with an error status even when the command
+    raises, and the active journal is restored."""
+    from repro.obs import journal
+    from repro.obs.journal import read_journal
+
+    def boom(args):
+        raise RuntimeError("exploded")
+
+    monkeypatch.setitem(cli._COMMANDS, "fig2", boom)
+    path = tmp_path / "run.jsonl"
+    with pytest.raises(RuntimeError):
+        cli.main(["fig2", "--journal", str(path)])
+    events = read_journal(str(path))
+    assert events[0]["event"] == "run_start"
+    assert events[-1]["event"] == "run_end"
+    assert events[-1]["data"]["status"] == "error"
+    assert journal.get_journal() is None

@@ -1,0 +1,198 @@
+"""Tests for the structured run journal (repro.obs.journal)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import REGISTRY, journal, tracing
+from repro.obs.journal import Journal, read_journal
+from repro.obs.tracing import span
+from repro.robust.guards import NumericalCorruptionError, check_finite
+from repro.robust.retry import RetryExhausted, RetryPolicy, retry_call
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    tracing.disable()
+    tracing.get_tracer().clear()
+    REGISTRY.reset()
+    journal.set_journal(None)
+    yield
+    tracing.disable()
+    tracing.get_tracer().clear()
+    REGISTRY.reset()
+    journal.set_journal(None)
+
+
+def test_envelope_and_sequence(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with Journal(str(path)) as j:
+        j.emit("alpha", x=1)
+        j.emit("beta", arr=np.float64(2.5), n=np.int64(7))
+    events = read_journal(str(path))
+    assert [e["event"] for e in events] == ["alpha", "beta"]
+    for i, e in enumerate(events):
+        assert e["v"] == journal.SCHEMA_VERSION
+        assert e["seq"] == i
+        assert e["pid"] == os.getpid()
+        assert isinstance(e["ts"], float)
+    # numpy scalars were coerced to plain JSON numbers
+    assert events[1]["data"] == {"arr": 2.5, "n": 7}
+
+
+def test_emit_noop_without_active_journal():
+    journal.emit("ignored", x=1)  # must not raise
+
+
+def test_append_mode_extends_existing_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with Journal(str(path)) as j:
+        j.emit("first")
+    with Journal(str(path)) as j:
+        j.emit("second")
+    assert [e["event"] for e in read_journal(str(path))] == ["first", "second"]
+
+
+def test_emit_after_close_is_noop(tmp_path):
+    path = tmp_path / "run.jsonl"
+    j = Journal(str(path))
+    j.emit("kept")
+    j.close()
+    j.emit("dropped")
+    assert [e["event"] for e in read_journal(str(path))] == ["kept"]
+
+
+def test_forked_child_inherits_inert_journal(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with Journal(str(path)) as j:
+        j.emit("parent")
+        pid = os.fork()
+        if pid == 0:  # child: emit must be a no-op
+            j.emit("child")
+            os._exit(0)
+        os.waitpid(pid, 0)
+        j.emit("parent_again")
+    assert [e["event"] for e in read_journal(str(path))] == [
+        "parent",
+        "parent_again",
+    ]
+
+
+def test_phase_spans_journal_through_tracer(tmp_path):
+    path = tmp_path / "run.jsonl"
+    tracing.enable()
+    with Journal(str(path)) as j:
+        journal.set_journal(j)
+        with span("treecode.build", n=100):
+            pass
+        with span("not.a.phase"):
+            pass
+    journal.set_journal(None)
+    events = read_journal(str(path))
+    assert len(events) == 1
+    assert events[0]["event"] == "phase"
+    assert events[0]["data"]["name"] == "treecode.build"
+    assert events[0]["data"]["args"] == {"n": 100}
+    assert events[0]["data"]["dur_s"] >= 0
+
+
+def test_retry_and_guard_trips_are_journaled(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with Journal(str(path)) as j:
+        journal.set_journal(j)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("boom")
+            return "ok"
+
+        value, attempts = retry_call(
+            flaky, RetryPolicy(max_retries=2, base_delay=0.0), site="test.site"
+        )
+        assert value == "ok" and attempts == 2
+        with pytest.raises(NumericalCorruptionError):
+            check_finite("test.guard", np.array([1.0, np.nan]))
+        with pytest.raises(RetryExhausted):
+            retry_call(
+                lambda: (_ for _ in ()).throw(ValueError("always")),
+                RetryPolicy(max_retries=1, base_delay=0.0),
+                site="test.site",
+            )
+    journal.set_journal(None)
+    events = read_journal(str(path))
+    kinds = [e["event"] for e in events]
+    assert kinds.count("retry") == 2
+    assert "guard_trip" in kinds
+    retry_ev = next(e for e in events if e["event"] == "retry")
+    assert retry_ev["data"] == {
+        "site": "test.site",
+        "attempt": 1,
+        "error": "ValueError",
+    }
+    guard_ev = next(e for e in events if e["event"] == "guard_trip")
+    assert guard_ev["data"] == {"site": "test.guard", "reason": "non_finite"}
+
+
+def test_checkpoint_events_are_journaled(tmp_path):
+    from repro.robust import Checkpoint
+    from repro.robust.checkpoint import cached_step
+
+    jpath = tmp_path / "run.jsonl"
+    cpath = str(tmp_path / "ck.json")
+    with Journal(str(jpath)) as j:
+        journal.set_journal(j)
+        ck = Checkpoint(cpath, meta={"exp": "t"})
+        assert cached_step(ck, "step1", lambda: 42) == 42
+        ck2 = Checkpoint(cpath, meta={"exp": "t"})
+        assert cached_step(ck2, "step1", lambda: 99) == 42  # resumed
+    journal.set_journal(None)
+    kinds = [e["event"] for e in read_journal(str(jpath))]
+    assert "checkpoint_write" in kinds
+    assert "checkpoint_resume" in kinds
+
+
+def test_plan_compile_journaled(tmp_path):
+    from repro.core.degree import FixedDegree
+    from repro.core.treecode import Treecode
+    from repro.data.distributions import make_distribution, unit_charges
+
+    n = 300
+    pts = make_distribution("uniform", n, seed=3)
+    q = unit_charges(n, seed=4, signed=True)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(3), alpha=0.5)
+    path = tmp_path / "run.jsonl"
+    with Journal(str(path)) as j:
+        journal.set_journal(j)
+        tc.compile_plan()
+    journal.set_journal(None)
+    events = [e for e in read_journal(str(path)) if e["event"] == "plan_compile"]
+    assert len(events) == 1
+    data = events[0]["data"]
+    assert data["mode"] == "target"
+    assert data["targets"] == n
+    assert data["memory_bytes"] > 0
+    assert data["compile_s"] >= 0
+
+
+def test_cli_journal_wraps_run(tmp_path):
+    """--journal on a real (tiny) CLI run produces run_start ... run_end."""
+    from repro.cli import main
+
+    path = tmp_path / "run.jsonl"
+    code = main(
+        ["leaf-sweep", "--seed", "0", "--journal", str(path)]
+    )
+    assert code == 0
+    events = read_journal(str(path))
+    assert events[0]["event"] == "run_start"
+    assert events[0]["data"]["command"] == "leaf-sweep"
+    assert events[-1]["event"] == "run_end"
+    assert events[-1]["data"] == {"status": "ok", "exit_code": 0}
+    # --journal implies observability: compute phases were journaled
+    assert any(e["event"] == "phase" for e in events)
+    # the active journal was restored afterwards
+    assert journal.get_journal() is None
