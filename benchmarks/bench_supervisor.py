@@ -1,0 +1,125 @@
+"""BENCH_5 — supervision overhead on a clean (fault-free) run.
+
+Supervised execution (:mod:`repro.robust.supervisor`) buys hang/OOM
+watchdogs, poison-unit quarantine and the backend degradation ladder;
+this benchmark prices it.  The same compiled cluster plan is executed
+through :func:`repro.parallel.evaluate_plan_parallel` with supervision
+off and on, best-of-``repeats`` each, and the report carries::
+
+    supervision_overhead = t_supervised / t_unsupervised - 1
+
+which the regression ledger gates at an absolute ceiling of 5%
+(``python -m repro bench compare``, rule ``supervision_overhead``).
+Supervision must also be invisible in the output: the two results are
+required to agree bitwise.
+
+Run standalone (pytest-free so CI can gate on the exit code)::
+
+    PYTHONPATH=src python benchmarks/bench_supervisor.py                # gate only
+    PYTHONPATH=src python benchmarks/bench_supervisor.py --out BENCH_5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import AdaptiveChargeDegree, Treecode  # noqa: E402
+from repro.data.distributions import make_distribution, unit_charges  # noqa: E402
+from repro.parallel import evaluate_plan_parallel  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+MAX_OVERHEAD = 0.05
+
+
+def bench_supervision(
+    n: int = 10000, workers: int = 2, n_units: int = 8, repeats: int = 7
+) -> dict:
+    pts = make_distribution("uniform", n, seed=n)
+    q = unit_charges(n, seed=n + 1, signed=True)
+    q2 = unit_charges(n, seed=n + 2, signed=True)
+    tc = Treecode(
+        pts, q, degree_policy=AdaptiveChargeDegree(p0=4, alpha=0.5), alpha=0.5
+    )
+    plan = tc.compile_plan(mode="cluster", n_units=n_units)
+
+    def run(supervise: bool):
+        return evaluate_plan_parallel(
+            plan, q2, n_threads=workers, supervise=supervise
+        )
+
+    run(False)  # warm caches so neither side pays first-touch costs
+    best = {False: np.inf, True: np.inf}
+    results = {}
+    # alternate the two sides each round so machine drift hits both
+    for _ in range(repeats):
+        for supervise in (False, True):
+            t0 = time.perf_counter()
+            results[supervise] = run(supervise)
+            best[supervise] = min(best[supervise], time.perf_counter() - t0)
+
+    bitwise = bool(
+        np.array_equal(results[False].potential, results[True].potential)
+    )
+    return {
+        "n": n,
+        "workers": workers,
+        "n_units": plan.n_units,
+        "unsupervised_s": best[False],
+        "supervised_s": best[True],
+        "supervision_overhead": best[True] / best[False] - 1.0,
+        "bitwise_identical": bitwise,
+        "max_abs_diff": float(
+            np.max(np.abs(results[True].potential - results[False].potential))
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--n", type=int, default=10000, help="particle count")
+    ap.add_argument("--workers", type=int, default=2, help="thread-pool width")
+    ap.add_argument("--repeats", type=int, default=7, help="best-of rounds")
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the BENCH_5 JSON report here (for the regression ledger)",
+    )
+    args = ap.parse_args(argv)
+
+    row = bench_supervision(n=args.n, workers=args.workers, repeats=args.repeats)
+    print(
+        f"supervisor n={row['n']} ({row['n_units']} units, "
+        f"{row['workers']} workers): unsupervised {row['unsupervised_s'] * 1e3:.1f} ms, "
+        f"supervised {row['supervised_s'] * 1e3:.1f} ms "
+        f"(overhead {row['supervision_overhead'] * 100:+.2f}%), "
+        f"bitwise {row['bitwise_identical']}"
+    )
+    if args.out is not None:
+        report = {"bench": "BENCH_5", "mode": "smoke", "supervisor": row}
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    ok = True
+    if not row["bitwise_identical"]:
+        print("FAIL: supervised result differs from unsupervised", file=sys.stderr)
+        ok = False
+    if row["supervision_overhead"] > MAX_OVERHEAD:
+        print(
+            f"FAIL: supervision overhead {row['supervision_overhead'] * 100:.2f}% "
+            f"> {MAX_OVERHEAD * 100:.0f}%",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print("supervision overhead OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

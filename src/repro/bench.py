@@ -32,6 +32,10 @@ component):
   (the plan/fallback agreement contract).
 * ``*_headroom`` — absolute floor ``0`` (a Theorem-1 ledger violation
   is a correctness bug, not a perf regression).
+* ``supervision_overhead`` — absolute ceiling ``0.05``,
+  history-independent: supervised execution (heartbeats + watchdog,
+  ``benchmarks/bench_supervisor.py``) may cost at most 5% over the
+  unsupervised baseline on a clean run.
 * ``*_s`` (timings) and everything else — informational: reported in
   the table, never gating (wall times on shared CI are too noisy to
   fail on directly; ``speedup`` is the noise-immune ratio).
@@ -67,6 +71,7 @@ _RULES: dict[str, tuple[str, float]] = {
     "plan_mb": ("max_ratio", 1.25),  # fail above 125% of baseline
     "max_abs_diff": ("abs_max", 1e-11),
     "headroom": ("abs_min", 0.0),
+    "supervision_overhead": ("abs_max", 0.05),
 }
 
 #: per-row fields worth tracking as series (present or not per bench)
@@ -79,6 +84,9 @@ _ROW_METRICS = (
     "max_abs_diff",
     "direct_sample_min_headroom",
     "pc_min_headroom",
+    "supervision_overhead",
+    "unsupervised_s",
+    "supervised_s",
 )
 
 
@@ -102,9 +110,10 @@ def extract_series(report: dict) -> dict:
     """Flatten one ``BENCH_*.json`` report into ``{series: value}``.
 
     Handles the BENCH_3 shape (``treecode`` rows + optional ``bem``
-    block) and the BENCH_4 shape (``treecode_cluster`` rows); unknown
-    report layouts yield an empty dict rather than an error, so the
-    ledger tolerates future benches until series are defined for them.
+    block), the BENCH_4 shape (``treecode_cluster`` rows) and the
+    BENCH_5 shape (``supervisor`` block); unknown report layouts yield
+    an empty dict rather than an error, so the ledger tolerates future
+    benches until series are defined for them.
     """
     series: dict = {}
     for row in report.get("treecode") or []:
@@ -114,6 +123,9 @@ def extract_series(report: dict) -> dict:
         _row_series(f"bem/p{bem.get('panels')}", bem, series)
     for row in report.get("treecode_cluster") or []:
         _row_series(f"cluster/n{row.get('n')}", row, series)
+    sup = report.get("supervisor")
+    if sup:
+        _row_series(f"supervisor/n{sup.get('n')}", sup, series)
     proj = report.get("projected_mb_50k")
     if isinstance(proj, (int, float)):
         series["cluster/projected_mb_50k"] = float(proj)

@@ -37,6 +37,18 @@ Parallelism: ``--workers N`` is the single worker-count knob for the
 thread and process executors (it sets ``REPRO_NUM_WORKERS``, which
 :func:`repro.parallel.resolve_workers` reads everywhere).
 
+Supervised execution (see :mod:`repro.robust.supervisor`):
+
+* ``--supervise`` arms worker heartbeats, the hang/OOM watchdog,
+  poison-unit quarantine and the ``process -> thread -> serial``
+  degradation ladder on the parallel executors;
+* ``--heartbeat-interval SECONDS`` / ``--unit-deadline SECONDS`` /
+  ``--memory-budget MIB`` tune it (each implies ``--supervise``).
+
+``profile`` output gains a "supervision health" section whenever a
+supervised run absorbed any event (reaps, quarantines, degradations,
+memory sheds, breaker trips).
+
 Fault tolerance (see :mod:`repro.robust`):
 
 * ``--seed N`` makes every subcommand's random instances reproducible
@@ -254,10 +266,13 @@ def _profile_summary(report: dict) -> str:
     flat = [
         f"{name}={val}"
         for name, val in sorted(counters.items())
-        if not isinstance(val, dict)
+        if not isinstance(val, dict) and not name.startswith("supervisor_")
     ]
     if flat:
         lines.append("counters: " + ", ".join(flat))
+    health = _health_report(counters)
+    if health:
+        lines.append(health)
     hist_lines = []
     for name, val in sorted(report["metrics"].get("histograms", {}).items()):
         if isinstance(val, dict) and "series" in val:
@@ -274,6 +289,45 @@ def _profile_summary(report: dict) -> str:
     if hist_lines:
         lines.append("histogram quantiles:")
         lines.extend(hist_lines)
+    return "\n".join(lines)
+
+
+#: supervision counters -> health-report labels, in display order
+_HEALTH_ROWS = [
+    ("supervisor_heartbeat_misses", "heartbeat misses"),
+    ("supervisor_reaps", "workers reaped (hang)"),
+    ("supervisor_oom_reaps", "workers reaped (oom)"),
+    ("supervisor_worker_deaths", "worker deaths"),
+    ("supervisor_quarantines", "units quarantined"),
+    ("supervisor_memory_sheds", "memory sheds"),
+    ("supervisor_memory_shed_bytes", "bytes shed"),
+    ("supervisor_breaker_trips", "breaker trips"),
+    ("supervisor_degradations", "backend degradations"),
+]
+
+
+def _health_report(counters: dict) -> str:
+    """Supervision health section of the profile summary: one line per
+    nonzero ``supervisor_*`` counter, empty string when the run was
+    unsupervised or absorbed nothing."""
+    rows = [
+        (label, counters[name])
+        for name, label in _HEALTH_ROWS
+        if counters.get(name)
+    ]
+    extra = sorted(
+        name
+        for name, val in counters.items()
+        if name.startswith("supervisor_")
+        and val
+        and name not in dict(_HEALTH_ROWS)
+    )
+    rows.extend((name, counters[name]) for name in extra)
+    if not rows:
+        return ""
+    lines = ["supervision health:"]
+    for label, val in rows:
+        lines.append(f"  {label:<28} {val}")
     return "\n".join(lines)
 
 
@@ -373,6 +427,38 @@ def main(argv=None) -> int:
         "or a compiled plan run serially / on a forked process pool",
     )
     parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="arm supervised execution on the parallel executors: worker "
+        "heartbeats, hang/OOM watchdogs, poison-unit quarantine, and the "
+        "process->thread->serial degradation ladder",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised workers publish a heartbeat at least this often "
+        "(default 0.05; implies --supervise)",
+    )
+    parser.add_argument(
+        "--unit-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed per-unit hang deadline for the watchdog (default: "
+        "adaptive from observed p95 duration; implies --supervise)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="per-process RSS budget: workers above it are reaped, and the "
+        "parent sheds compiled-plan memory before tripping the breaker "
+        "(implies --supervise)",
+    )
+    parser.add_argument(
         "--inject-faults",
         metavar="SPEC",
         default=None,
@@ -423,6 +509,27 @@ def main(argv=None) -> int:
         # var in this process and in forked pool workers alike
         os.environ[ENV_WORKERS] = str(args.workers)
 
+    supervise = args.supervise or any(
+        v is not None
+        for v in (args.heartbeat_interval, args.unit_deadline, args.memory_budget)
+    )
+    if supervise:
+        for tune in ("heartbeat_interval", "unit_deadline", "memory_budget"):
+            val = getattr(args, tune)
+            if val is not None and val <= 0:
+                parser.error(f"--{tune.replace('_', '-')} must be > 0, got {val}")
+        from .robust import supervisor as _sup
+
+        # like --workers: env vars are the wire format, read by
+        # default_config() wherever an executor resolves supervision
+        os.environ[_sup.ENV_SUPERVISE] = "1"
+        if args.heartbeat_interval is not None:
+            os.environ[_sup.ENV_HEARTBEAT_INTERVAL] = str(args.heartbeat_interval)
+        if args.unit_deadline is not None:
+            os.environ[_sup.ENV_UNIT_DEADLINE] = str(args.unit_deadline)
+        if args.memory_budget is not None:
+            os.environ[_sup.ENV_MEMORY_BUDGET] = str(args.memory_budget)
+
     def run() -> int:
         if args.inject_faults is not None:
             from .robust import FaultInjector, parse_fault_spec, set_injector
@@ -457,6 +564,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             workers=args.workers,
             backend=args.backend,
+            supervise=supervise,
             inject_faults=args.inject_faults,
         )
         try:

@@ -60,15 +60,49 @@ import time
 __all__ = [
     "SCHEMA_VERSION",
     "PHASE_SPANS",
+    "SUPERVISOR_EVENTS",
     "Journal",
     "set_journal",
     "get_journal",
     "emit",
     "maybe_phase",
     "read_journal",
+    "validate_supervisor_event",
 ]
 
-SCHEMA_VERSION = 1
+#: v1: original envelope.  v2: adds the ``supervisor.*`` event family
+#: (:data:`SUPERVISOR_EVENTS`); the envelope itself is unchanged, so v1
+#: journals still parse with :func:`read_journal`.
+SCHEMA_VERSION = 2
+
+#: Supervision event types (schema v2) -> required payload keys.  The
+#: payloads may carry additional keys; these are the stable contract
+#: that tooling (and the schema test) may rely on.
+SUPERVISOR_EVENTS: dict[str, frozenset] = {
+    "supervisor.heartbeat_miss": frozenset(
+        {"slot", "unit", "waited_s", "deadline_s"}
+    ),
+    "supervisor.reap": frozenset(
+        {"slot", "unit", "waited_s", "deadline_s", "kind"}
+    ),
+    "supervisor.worker_death": frozenset({"slot", "unit"}),
+    "supervisor.quarantine": frozenset({"unit", "failures", "kind"}),
+    "supervisor.breaker_trip": frozenset({"reason"}),
+    "supervisor.degraded": frozenset({"frm", "to", "reason", "units_left"}),
+    "supervisor.memory_shed": frozenset({"freed_bytes", "rss", "budget"}),
+}
+
+
+def validate_supervisor_event(entry: dict) -> bool:
+    """True iff a parsed journal entry is a well-formed ``supervisor.*``
+    event: known type, v2+ envelope, all required payload keys present."""
+    event = entry.get("event")
+    required = SUPERVISOR_EVENTS.get(event)
+    if required is None:
+        return False
+    if entry.get("v", 0) < 2:
+        return False
+    return required <= set(entry.get("data", {}))
 
 #: Span names significant enough to journal as ``phase`` events when a
 #: journal is active.  The full span stream stays in the tracer; the

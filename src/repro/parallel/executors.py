@@ -33,8 +33,8 @@ the caller.  All recovery actions increment registry counters
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, replace
 from threading import Lock
 
 import numpy as np
@@ -55,6 +55,16 @@ from ..robust.faults import (
 )
 from ..robust.guards import check_finite
 from ..robust.retry import RetryExhausted, RetryPolicy, retry_call
+from ..robust.supervisor import (
+    BackendDegraded,
+    Supervisor,
+    SupervisorConfig,
+    complete_quarantined,
+    create_segment,
+    default_config,
+    release_segment,
+    run_supervised_plan_process,
+)
 from .partition import make_blocks
 
 __all__ = [
@@ -94,6 +104,32 @@ class BlockEvaluationError(RuntimeError):
     """A w-block failed its retries and every fallback."""
 
 
+def _resolve_supervision(supervise) -> Supervisor | None:
+    """Normalize the ``supervise`` argument to a live supervisor.
+
+    ``None`` defers to the environment (``REPRO_SUPERVISE`` via
+    :func:`~repro.robust.supervisor.default_config`), ``False`` disables
+    supervision outright, ``True`` enables it with the environment's
+    config (or defaults), and a :class:`SupervisorConfig` /
+    :class:`Supervisor` is used as given.
+    """
+    if supervise is None:
+        cfg = default_config()
+        return Supervisor(cfg) if cfg is not None else None
+    if supervise is False:
+        return None
+    if supervise is True:
+        return Supervisor(default_config() or SupervisorConfig())
+    if isinstance(supervise, SupervisorConfig):
+        return Supervisor(supervise)
+    if isinstance(supervise, Supervisor):
+        return supervise
+    raise TypeError(
+        f"supervise must be None, bool, SupervisorConfig or Supervisor, "
+        f"got {type(supervise).__name__}"
+    )
+
+
 @dataclass
 class ParallelResult:
     """Potential plus timing of a parallel self-evaluation."""
@@ -105,6 +141,10 @@ class ParallelResult:
     stats: TreecodeStats
     n_retries: int = 0  #: block attempts retried after a failure
     n_fallbacks: int = 0  #: blocks recovered via serial/direct fallback
+    n_quarantined: int = 0  #: poison units completed by the supervisor
+    n_reaped: int = 0  #: hung/over-budget workers SIGKILLed
+    n_degradations: int = 0  #: backend downgrades along the ladder
+    backend: str = "thread"  #: backend the run was *requested* on
 
 
 def original_points(tc: Treecode) -> np.ndarray:
@@ -227,6 +267,7 @@ def evaluate_parallel(
     w: int = 64,
     ordering: str = "hilbert",
     retry: RetryPolicy | None = None,
+    supervise=None,
 ) -> ParallelResult:
     """Evaluate the potential at the treecode's own particles in parallel.
 
@@ -249,6 +290,12 @@ def evaluate_parallel(
         millisecond-scale jittered backoff and no deadline; a block that
         exhausts its retries degrades to a serial (then direct-sum)
         fallback instead of failing the whole evaluation.
+    supervise:
+        Opt into supervision (``None`` = defer to ``REPRO_SUPERVISE``):
+        per-block attempts get the supervisor's adaptive deadline, a
+        block failing ``quarantine_after`` times counts as quarantined,
+        and accumulated failures past ``max_unit_failures`` degrade the
+        remaining blocks to the suppressed-serial path.
 
     Returns
     -------
@@ -257,6 +304,7 @@ def evaluate_parallel(
     """
     n_threads = resolve_workers(n_threads)
     policy = RetryPolicy() if retry is None else retry
+    sup = _resolve_supervision(supervise)
     tree = tc.tree
     n = tree.n_particles
     to_sorted = np.empty(n, dtype=np.int64)
@@ -267,6 +315,7 @@ def evaluate_parallel(
     stats = TreecodeStats()  # per-block n_targets accumulate to n via merge
     recovery = {"retries": 0, "fallbacks": 0}
     recovery_lock = Lock()
+    degraded = [False]  # once-only thread -> serial degradation marker
 
     def attempt_block(pos: np.ndarray):
         maybe_fault("parallel.block")  # injected error/hang sites
@@ -275,29 +324,66 @@ def evaluate_parallel(
         check_finite("parallel.block", vals, context="worker block output")
         return vals, s
 
-    def run_block(idx_original: np.ndarray) -> TreecodeStats:
+    def run_block(task) -> TreecodeStats:
+        bid, idx_original = task
         # per-worker task timing: the span carries the recording
-        # thread's id, so the exported trace shows each worker's lane
-        with span("parallel.block", targets=int(idx_original.size)) as sp:
+        # thread's id, so the exported trace shows each worker's lane.
+        # Supervised runs need the duration as *control data* (it feeds
+        # the adaptive deadline), so they use the always-timing
+        # stopwatch — a plain span's elapsed is 0.0 with tracing off.
+        make_span = span if sup is None else stopwatch
+        with make_span("parallel.block", targets=int(idx_original.size)) as sp:
             pos = to_sorted[idx_original]
             fellback = False
-            try:
-                (vals, s), attempts = retry_call(
-                    lambda: attempt_block(pos),
-                    policy,
-                    site="parallel.block",
-                    seed=int(pos[0]) if pos.size else 0,
-                )
-            except RetryExhausted as exc:
-                attempts = policy.max_retries + 1
+            pol = policy
+            if sup is not None and pol.deadline is None:
+                pol = replace(policy, deadline=sup.deadline())
+            if sup is not None and sup.tripped:
+                # breaker open: skip the parallel attempt entirely and
+                # run the suppressed-serial recovery path directly
+                vals, s = _recover_block(tc, pos, BackendDegraded(
+                    "thread", sup.trip_reason or "breaker"
+                ))
+                attempts = 1
                 fellback = True
+            else:
                 try:
-                    vals, s = _recover_block(tc, pos, exc)
-                except Exception as final:
-                    raise BlockEvaluationError(
-                        f"block of {pos.size} targets failed {attempts} attempts "
-                        f"and all fallbacks: {final}"
-                    ) from exc
+                    (vals, s), attempts = retry_call(
+                        lambda: attempt_block(pos),
+                        pol,
+                        site="parallel.block",
+                        seed=int(pos[0]) if pos.size else 0,
+                    )
+                    if sup is not None:
+                        sup.record_duration(sp.elapsed)
+                except RetryExhausted as exc:
+                    attempts = policy.max_retries + 1
+                    fellback = True
+                    try:
+                        vals, s = _recover_block(tc, pos, exc)
+                    except Exception as final:
+                        raise BlockEvaluationError(
+                            f"block of {pos.size} targets failed {attempts} "
+                            f"attempts and all fallbacks: {final}"
+                        ) from exc
+                    if sup is not None:
+                        if sup.record_failure(bid):
+                            sup.on_quarantine(bid, "serial")
+                        with recovery_lock:
+                            if (
+                                sup.total_failures()
+                                >= sup.cfg.max_unit_failures
+                                and not sup.tripped
+                            ):
+                                sup.trip("unit_failures")
+                            if sup.tripped and not degraded[0]:
+                                degraded[0] = True
+                                sup.on_degrade(
+                                    "thread",
+                                    "serial",
+                                    sup.trip_reason or "breaker",
+                                    len(blocks) - bid - 1,
+                                )
             phi_sorted[pos] = vals
             with recovery_lock:
                 recovery["retries"] += attempts - 1
@@ -314,11 +400,11 @@ def evaluate_parallel(
     )
     with sw:
         if n_threads == 1:
-            for blk in blocks:
-                stats.merge(run_block(blk))
+            for task in enumerate(blocks):
+                stats.merge(run_block(task))
         else:
             with ThreadPoolExecutor(max_workers=n_threads) as pool:
-                for s in pool.map(run_block, blocks):
+                for s in pool.map(run_block, enumerate(blocks)):
                     stats.merge(s)
     wall = sw.elapsed
 
@@ -333,6 +419,10 @@ def evaluate_parallel(
         stats=stats,
         n_retries=recovery["retries"],
         n_fallbacks=recovery["fallbacks"],
+        n_quarantined=sup.n_quarantines if sup else 0,
+        n_reaped=sup.n_reaps if sup else 0,
+        n_degradations=sup.n_degradations if sup else 0,
+        backend="thread",
     )
 
 
@@ -457,13 +547,15 @@ def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery
     import multiprocessing as mp
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
-    from multiprocessing import shared_memory
 
     global _PROC_STATE
     segments = []
 
     def share(arr: np.ndarray) -> np.ndarray:
-        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        # tracked named segments: unlinked here in the finally, and by
+        # the supervisor module's atexit/SIGTERM hooks if this frame
+        # never gets to run (a SIGINT'd run leaves no /dev/shm residue)
+        shm = create_segment(arr.nbytes)
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
         view[...] = arr
         segments.append(shm)
@@ -525,11 +617,176 @@ def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery
     finally:
         _PROC_STATE = {}
         for shm in segments:
-            shm.close()
+            release_segment(shm)
+
+    phi = np.zeros(plan.n_targets, dtype=np.float64)
+    for i in range(n_units):  # deterministic merge order
+        tids, vals = results[i]
+        scatter_add(phi, tids, vals)
+    return phi
+
+
+def _execute_plan_units_thread(
+    plan, ctx, q_sorted, n_workers, policy, recovery, sup, results
+):
+    """Supervised thread-backend stage of the degradation ladder.
+
+    Completes every unit not already in ``results``.  Attempts run
+    under a per-attempt deadline (the policy's, or the supervisor's
+    adaptive one), so a hung kernel is abandoned rather than waited on;
+    a unit that exhausts its retries strikes toward quarantine and is
+    otherwise redone with faults suppressed.  Accumulated unit failures
+    past ``max_unit_failures`` trip the breaker: the stage raises
+    :class:`BackendDegraded`, keeping completed results, and the caller
+    drops to the serial rung.
+    """
+    pending = [i for i in range(plan.n_units) if i not in results]
+    lock = Lock()
+
+    def run_unit(i: int):
+        pol = policy
+        if pol.deadline is None:
+            pol = replace(policy, deadline=sup.deadline())
+
+        def attempt():
+            maybe_fault("parallel.block")
+            tids, vals = plan.execute_unit(ctx, q_sorted, i)
+            vals = maybe_corrupt("parallel.block", vals)
+            check_finite("parallel.block", vals, context="plan unit output")
+            return tids, vals
+
+        # stopwatch, not span: the elapsed time feeds the supervisor's
+        # adaptive deadline, and a plain span reads 0.0 with tracing off
+        with stopwatch("parallel.block", unit=i) as sp:
+            out = retry_call(attempt, pol, site="parallel.block", seed=i)
+        sup.record_duration(sp.elapsed)
+        if is_enabled():
+            REGISTRY.histogram(
+                "parallel_block_seconds", "wall time per worker block"
+            ).observe(sp.elapsed)
+        return out
+
+    def on_failure(i: int, exc: Exception) -> None:
+        with lock:
+            recovery["retries"] += policy.max_retries
+            if sup.record_failure(i):
+                results[i] = complete_quarantined(plan, ctx, q_sorted, i, sup)
+                recovery["fallbacks"] += 1
+            else:
+                results[i] = _plan_unit_redo(
+                    plan, ctx, q_sorted, i, exc, policy.max_retries + 1
+                )
+                recovery["fallbacks"] += 1
+            if sup.total_failures() >= sup.cfg.max_unit_failures:
+                sup.trip("unit_failures")
+
+    if n_workers == 1:
+        for i in pending:
+            if sup.tripped:
+                break
             try:
-                shm.unlink()
-            except FileNotFoundError:
-                pass
+                (tids, vals), attempts = run_unit(i)
+                results[i] = (tids, vals)
+                recovery["retries"] += attempts - 1
+            except Exception as exc:
+                on_failure(i, exc)
+    else:
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            futs = {pool.submit(run_unit, i): i for i in pending}
+            for fut in as_completed(futs):
+                if fut.cancelled():
+                    continue
+                i = futs[fut]
+                try:
+                    (tids, vals), attempts = fut.result()
+                    if i not in results:
+                        results[i] = (tids, vals)
+                        with lock:
+                            recovery["retries"] += attempts - 1
+                except Exception as exc:
+                    on_failure(i, exc)
+                if sup.tripped:
+                    # in-flight units finish (their attempt deadlines
+                    # bound the wait); queued ones cancel and fall to
+                    # the next rung
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+    if sup.tripped:
+        raise BackendDegraded("thread", sup.trip_reason or "breaker")
+
+
+def _execute_plan_units_serial_suppressed(plan, ctx, q_sorted, recovery, results):
+    """Ladder floor: complete remaining units serially on the parent
+    with fault injection suppressed (identical arithmetic)."""
+    for i in range(plan.n_units):
+        if i in results:
+            continue
+        results[i] = _plan_unit_redo(
+            plan, ctx, q_sorted, i, RuntimeError("backend degraded to serial"), 1
+        )
+        recovery["fallbacks"] += 1
+
+
+def _execute_plan_units_supervised(
+    plan, ctx, q_sorted, n_workers, policy, recovery, sup
+):
+    """Supervised process-backend execution with the full degradation
+    ladder: supervised worker fleet → supervised thread pool → serial
+    suppressed.  Completed units carry across rungs, so a degradation
+    only re-plans the remainder.  Returns the merged (Morton-sorted)
+    potential — bitwise-identical to serial regardless of which rungs
+    ran (quarantined units that needed direct summation excepted, and
+    those stay within the Theorem-1 ledger).
+    """
+    segments = []
+
+    def share(arr: np.ndarray) -> np.ndarray:
+        shm = create_segment(arr.nbytes)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        segments.append(shm)
+        return view
+
+    n_units = plan.n_units
+    results: dict[int, tuple] = {}
+    try:
+        q_shared = share(q_sorted)
+        ctx_shared = {
+            p: (share(C), share(A) if A is not None else None)
+            for p, (C, A) in ctx.items()
+        }
+        try:
+            run_supervised_plan_process(
+                plan,
+                ctx_shared,
+                q_shared,
+                ctx,
+                q_sorted,
+                n_workers,
+                policy,
+                sup,
+                results,
+                recovery,
+                _merge_worker_telemetry,
+            )
+        except BackendDegraded as deg:
+            sup.on_degrade(
+                "process", "thread", deg.reason, n_units - len(results)
+            )
+            try:
+                _execute_plan_units_thread(
+                    plan, ctx, q_sorted, n_workers, policy, recovery, sup, results
+                )
+            except BackendDegraded as deg2:
+                sup.on_degrade(
+                    "thread", "serial", deg2.reason, n_units - len(results)
+                )
+                _execute_plan_units_serial_suppressed(
+                    plan, ctx, q_sorted, recovery, results
+                )
+    finally:
+        for shm in segments:
+            release_segment(shm)
 
     phi = np.zeros(plan.n_targets, dtype=np.float64)
     for i in range(n_units):  # deterministic merge order
@@ -544,6 +801,7 @@ def evaluate_plan_parallel(
     n_threads: int | None = None,
     retry: RetryPolicy | None = None,
     backend: str = "thread",
+    supervise=None,
 ) -> ParallelResult:
     """Execute a compiled plan (:class:`~repro.perf.plan.CompiledPlan`
     or :class:`~repro.perf.cluster.ClusterPlan`) with its work units
@@ -576,11 +834,25 @@ def evaluate_plan_parallel(
     process backend adds the ``parallel.kill`` site (``block_kill``
     mode): a killed worker breaks the pool and every unit without a
     result is recomputed serially on the parent.
+
+    ``supervise`` opts into the supervision layer
+    (:mod:`repro.robust.supervisor`): ``None`` defers to the
+    ``REPRO_SUPERVISE`` environment (the CLI ``--supervise`` flag),
+    ``True``/``False`` force it on/off, and a
+    :class:`~repro.robust.supervisor.SupervisorConfig` customizes
+    thresholds.  Supervised process runs get worker heartbeats, hang and
+    RSS watchdogs, poison-unit quarantine, and the ``process -> thread
+    -> serial`` degradation ladder; supervised thread runs get adaptive
+    per-attempt deadlines, quarantine, and the ``thread -> serial``
+    rung.  Supervision preserves the deterministic unit-order merge —
+    results stay bitwise-identical to serial unless a quarantined unit
+    had to fall all the way to exact direct summation.
     """
     if backend not in ("thread", "process"):
         raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
     n_threads = resolve_workers(n_threads)
     policy = RetryPolicy() if retry is None else retry
+    sup = _resolve_supervision(supervise)
     q_sorted = plan.sort_charges(charges)
     n_units = plan.n_units
     recovery = {"retries": 0, "fallbacks": 0}
@@ -593,9 +865,32 @@ def evaluate_plan_parallel(
         ctx = plan.form_coefficients(q_sorted)
 
         if backend == "process":
-            phi = _execute_plan_units_process(
-                plan, ctx, q_sorted, n_threads, policy, recovery
-            )
+            if sup is not None:
+                phi = _execute_plan_units_supervised(
+                    plan, ctx, q_sorted, n_threads, policy, recovery, sup
+                )
+            else:
+                phi = _execute_plan_units_process(
+                    plan, ctx, q_sorted, n_threads, policy, recovery
+                )
+            phi, _, _ = plan.finalize(phi)
+        elif sup is not None:
+            results: dict[int, tuple] = {}
+            try:
+                _execute_plan_units_thread(
+                    plan, ctx, q_sorted, n_threads, policy, recovery, sup, results
+                )
+            except BackendDegraded as deg:
+                sup.on_degrade(
+                    "thread", "serial", deg.reason, n_units - len(results)
+                )
+                _execute_plan_units_serial_suppressed(
+                    plan, ctx, q_sorted, recovery, results
+                )
+            phi = np.zeros(plan.n_targets, dtype=np.float64)
+            for i in range(n_units):  # deterministic merge order
+                tids, vals = results[i]
+                scatter_add(phi, tids, vals)
             phi, _, _ = plan.finalize(phi)
         else:
 
@@ -657,4 +952,8 @@ def evaluate_plan_parallel(
         stats=stats,
         n_retries=recovery["retries"],
         n_fallbacks=recovery["fallbacks"],
+        n_quarantined=sup.n_quarantines if sup else 0,
+        n_reaped=sup.n_reaps if sup else 0,
+        n_degradations=sup.n_degradations if sup else 0,
+        backend=backend,
     )

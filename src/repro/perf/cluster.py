@@ -674,6 +674,102 @@ class ClusterPlan(CompiledPlan):
         )
         return np.arange(nb.tlo, nb.thi), vals
 
+    def execute_unit_direct(self, q_sorted, i):
+        """Evaluate one work unit by exact per-pair summation (the
+        supervisor's quarantine of last resort).  Each of a far unit's
+        box pairs is replaced by the exact contribution of the source
+        box's particles to the target box's particles clipped to the
+        unit's range — within the dual Theorem-1 bound of the M2L
+        pipeline's value."""
+        from ..direct import pairwise_potential
+
+        tree = self.tc.tree
+        nfu = len(self._units)
+        if i < nfu:
+            u = self._units[i]
+            vals = np.zeros(u.thi - u.tlo, dtype=np.float64)
+            for g in u.groups:
+                srcs = self._rowmap[g.p][g.rows]
+                seg_ends = np.append(g.seg[1:], g.rows.size)
+                for tb, lo, hi in zip(g.utgt, g.seg, seg_ends):
+                    ts = max(int(tree.start[tb]), u.tlo)
+                    te = min(int(tree.end[tb]), u.thi)
+                    if te <= ts:
+                        continue
+                    blk = self.tgt[ts:te]
+                    acc = np.zeros(te - ts, dtype=np.float64)
+                    # two-sided MAC: source boxes never overlap their
+                    # target box, so no self-exclusion is needed
+                    for sb in srcs[lo:hi]:
+                        s, e = int(tree.start[sb]), int(tree.end[sb])
+                        acc += pairwise_potential(
+                            blk,
+                            tree.points[s:e],
+                            q_sorted[s:e],
+                            softening=self.tc.softening,
+                        )
+                    vals[ts - u.tlo : te - u.tlo] += acc
+            return np.arange(u.tlo, u.thi), vals
+        nb = self._near_blocks[i - nfu]
+        vals = pairwise_potential(
+            self.tgt[nb.tlo : nb.thi],
+            tree.points[nb.sidx],
+            q_sorted[nb.sidx],
+            exclude=nb.excl,
+            softening=self.tc.softening,
+        )
+        return np.arange(nb.tlo, nb.thi), vals
+
+    # -- memory shedding -----------------------------------------------
+    def _shed_stage1(self) -> int:
+        """float32 L2P rows and near kernels (M2L displacement/index
+        arrays are already minimal and stay resident)."""
+        freed = 0
+        for u in self._units:
+            for gl in u.l2p:
+                if gl.Ure.dtype == np.float64:
+                    freed += (gl.Ure.nbytes + gl.Uim.nbytes) // 2
+                    gl.Ure = gl.Ure.astype(np.float32)
+                    gl.Uim = gl.Uim.astype(np.float32)
+                if gl.grad is not None and gl.grad[0].dtype == np.complex128:
+                    A, Bm, D, st, ct, cp, sp = gl.grad
+                    freed += (A.nbytes + Bm.nbytes + D.nbytes) // 2
+                    gl.grad = (
+                        A.astype(np.complex64),
+                        Bm.astype(np.complex64),
+                        D.astype(np.complex64),
+                        st, ct, cp, sp,
+                    )
+        for nb in self._near_blocks:
+            if nb.K is not None and nb.K.dtype == np.float64:
+                freed += nb.K.nbytes // 2
+                nb.K = nb.K.astype(np.float32)
+            if nb.D3 is not None and nb.D3.dtype == np.float64:
+                freed += nb.D3.nbytes // 2
+                nb.D3 = nb.D3.astype(np.float32)
+        return freed
+
+    def _shed_stage2(self) -> int:
+        """Drop near kernels to the exact spilled path.  L2P rows have
+        no on-the-fly fallback, so they stay (float32 after stage 1)."""
+        freed = 0
+        for nb in self._near_blocks:
+            if nb.K is not None:
+                freed += nb.K.nbytes
+                nb.K = None
+            if nb.D3 is not None:
+                freed += nb.D3.nbytes
+                nb.D3 = None
+        return freed
+
+    def _refresh_spill_counts(self) -> None:
+        self.n_far_precomputed = sum(len(u.groups) for u in self._units)
+        self.n_far_spilled = 0
+        self.n_near_precomputed = sum(
+            1 for b in self._near_blocks if b.K is not None
+        )
+        self.n_near_spilled = len(self._near_blocks) - self.n_near_precomputed
+
     def execute(self, charges: np.ndarray) -> TreecodeResult:
         """Apply the cluster plan to a charge vector.
 

@@ -576,6 +576,137 @@ class CompiledPlan:
         )
         return nb.tids, vals
 
+    def execute_unit_direct(self, q_sorted, i):
+        """Evaluate one work unit by exact per-pair summation.
+
+        The supervisor's quarantine of last resort: no multipole
+        machinery, no precomputed operators — each (cluster, target)
+        pair of a far chunk is replaced by the exact contribution of
+        the cluster's particles (within the Theorem-1 bound of the
+        approximated value), and near blocks run the dense kernel from
+        raw coordinates.  Returns ``(target_indices, values)``.
+        """
+        from ..direct import pairwise_potential
+
+        tree = self.tc.tree
+        nf = len(self._far_chunks)
+        if i < nf:
+            ch = self._far_chunks[i]
+            vals = np.zeros(ch.tids.size, dtype=np.float64)
+            for node in np.unique(ch.nodes):
+                m = ch.nodes == node
+                s, e = int(tree.start[node]), int(tree.end[node])
+                # MAC-separated clusters never contain their targets,
+                # so no exclusion is needed even for self-targets
+                vals[m] = pairwise_potential(
+                    self.tgt[ch.tids[m]],
+                    tree.points[s:e],
+                    q_sorted[s:e],
+                    softening=self.tc.softening,
+                )
+            return ch.tids, vals
+        nb = self._near_blocks[i - nf]
+        vals = pairwise_potential(
+            self.tgt[nb.tids],
+            tree.points[nb.s : nb.e],
+            q_sorted[nb.s : nb.e],
+            exclude=nb.excl,
+            softening=self.tc.softening,
+        )
+        return nb.tids, vals
+
+    # -- memory shedding -----------------------------------------------
+    #: 0 = full precision, 1 = float32 operators, 2 = dropped to spill
+    _shed_stage = 0
+
+    def _shed_stage1(self) -> int:
+        """Halve operator memory: far rows and near kernels to float32
+        (results degrade to ~1e-6 relative; bounds/stats unchanged)."""
+        freed = 0
+        for ch in self._far_chunks:
+            if ch.Rre is not None and ch.Rre.dtype == np.float64:
+                freed += (ch.Rre.nbytes + ch.Rim.nbytes) // 2
+                ch.Rre = ch.Rre.astype(np.float32)
+                ch.Rim = ch.Rim.astype(np.float32)
+            if ch.grad is not None and ch.grad[0].dtype == np.complex128:
+                A, B, D, st, ct, cp, sp = ch.grad
+                freed += (A.nbytes + B.nbytes + D.nbytes) // 2
+                ch.grad = (
+                    A.astype(np.complex64),
+                    B.astype(np.complex64),
+                    D.astype(np.complex64),
+                    st, ct, cp, sp,
+                )
+        for nb in self._near_blocks:
+            if nb.K is not None and nb.K.dtype == np.float64:
+                freed += nb.K.nbytes // 2
+                nb.K = nb.K.astype(np.float32)
+            if nb.D3 is not None and nb.D3.dtype == np.float64:
+                freed += nb.D3.nbytes // 2
+                nb.D3 = nb.D3.astype(np.float32)
+        return freed
+
+    def _shed_stage2(self) -> int:
+        """Drop all precomputed operators to the spilled on-the-fly
+        paths (exact float64 recompute — full accuracy returns, at
+        un-planned evaluation speed)."""
+        freed = 0
+        for ch in self._far_chunks:
+            if ch.Rre is not None:
+                freed += ch.Rre.nbytes + ch.Rim.nbytes
+                ch.Rre = ch.Rim = None
+            if ch.grad is not None:
+                A, B, D, *_ = ch.grad
+                freed += A.nbytes + B.nbytes + D.nbytes
+                ch.grad = None
+        for nb in self._near_blocks:
+            if nb.K is not None:
+                freed += nb.K.nbytes
+                nb.K = None
+            if nb.D3 is not None:
+                freed += nb.D3.nbytes
+                nb.D3 = None
+        return freed
+
+    def shed_memory(self) -> int:
+        """Release plan memory under RSS pressure; returns bytes freed.
+
+        Stage 1 casts precomputed operators to float32; stage 2 drops
+        them entirely, falling back to the (exact) spilled evaluation
+        paths.  Returns 0 once nothing sheddable remains — the
+        supervisor's cue to trip the memory breaker instead.
+        """
+        freed = 0
+        while freed == 0 and self._shed_stage < 2:
+            stage = self._shed_stage
+            freed = self._shed_stage1() if stage == 0 else self._shed_stage2()
+            self._shed_stage = stage + 1
+        if freed:
+            self.memory_bytes = int(self.memory_bytes - freed)
+            self._refresh_spill_counts()
+            if is_enabled():
+                REGISTRY.counter("plan_sheds", "plan memory-shed stages run").inc()
+                REGISTRY.gauge(
+                    "plan_memory_bytes", "materialized bytes of the most recent plan"
+                ).set(self.memory_bytes)
+            journal.emit(
+                "plan_shed",
+                stage=int(self._shed_stage),
+                freed_bytes=int(freed),
+                memory_bytes=int(self.memory_bytes),
+            )
+        return freed
+
+    def _refresh_spill_counts(self) -> None:
+        self.n_far_precomputed = sum(
+            1 for c in self._far_chunks if c.Rre is not None
+        )
+        self.n_far_spilled = len(self._far_chunks) - self.n_far_precomputed
+        self.n_near_precomputed = sum(
+            1 for b in self._near_blocks if b.K is not None
+        )
+        self.n_near_spilled = len(self._near_blocks) - self.n_near_precomputed
+
     def finalize(self, phi, grad=None, bound=None, stats=None):
         """Common epilogue: un-sort self-target results back to input
         order and run the output guards."""

@@ -12,7 +12,11 @@ the FMM engine and the experiment drivers:
   boundaries, the Theorem-1 bound-accounting sanity check, and GMRES
   breakdown/stagnation recovery (restart escalation, dense fallback);
 * :mod:`~repro.robust.checkpoint` — atomic JSON checkpoint/resume for
-  long experiment sweeps.
+  long experiment sweeps;
+* :mod:`~repro.robust.supervisor` — supervised execution: worker
+  heartbeats in shared memory, hang/OOM watchdogs, poison-unit
+  quarantine, and the ``process -> thread -> serial`` degradation
+  ladder (see DESIGN.md §12).
 
 Every recovery action (retry, fallback, guard trip, resume) increments
 a metrics counter and opens a span, so ``python -m repro profile``
@@ -26,6 +30,7 @@ from .faults import (
     FaultRule,
     InjectedFault,
     active_injector,
+    clear_ballast,
     maybe_corrupt,
     maybe_fault,
     parse_fault_spec,
@@ -40,7 +45,22 @@ from .guards import (
     check_finite,
     solve_with_recovery,
 )
-from .retry import AttemptTimeout, RetryExhausted, RetryPolicy, retry_call
+from .retry import (
+    AttemptTimeout,
+    RetryExhausted,
+    RetryPolicy,
+    abandoned_threads,
+    retry_call,
+)
+from .supervisor import (
+    BackendDegraded,
+    HeartbeatTable,
+    Supervisor,
+    SupervisorConfig,
+    cleanup_segments,
+    current_rss,
+    default_config,
+)
 
 __all__ = [
     "FaultInjector",
@@ -65,4 +85,13 @@ __all__ = [
     "Checkpoint",
     "CheckpointMismatch",
     "cached_step",
+    "clear_ballast",
+    "abandoned_threads",
+    "Supervisor",
+    "SupervisorConfig",
+    "HeartbeatTable",
+    "BackendDegraded",
+    "default_config",
+    "current_rss",
+    "cleanup_segments",
 ]

@@ -18,6 +18,7 @@ Spec strings are comma-separated ``mode:rate[:param]`` entries::
     block_hang:0.1:0.5              # 10% of attempts sleep 0.5 s first
     block_nan:0.05                  # 5% of block outputs get NaN entries
     block_kill:0.1                  # 10% of process-pool units kill their worker
+    block_oom:0.05:256              # 5% of attempts balloon RSS by 256 MiB
     coeff_nan:1.0                   # corrupt multipole coefficients
     gmres_nan:0.1                   # corrupt GMRES matvec results
     fmm_nan:0.5                     # corrupt the FMM output potential
@@ -60,6 +61,7 @@ __all__ = [
     "maybe_fault",
     "maybe_corrupt",
     "suppress_faults",
+    "clear_ballast",
     "ENV_SPEC",
     "ENV_SEED",
 ]
@@ -84,6 +86,7 @@ _MODES: dict[str, tuple[str, str, float]] = {
     "block_hang": ("parallel.block", "hang", 0.25),
     "block_nan": ("parallel.block", "corrupt", 0.01),
     "block_kill": ("parallel.kill", "error", 0.0),
+    "block_oom": ("parallel.block", "oom", 64.0),
     "coeff_nan": ("treecode.coeffs", "corrupt", 0.001),
     "gmres_nan": ("gmres.matvec", "corrupt", 0.01),
     "fmm_nan": ("fmm.potential", "corrupt", 0.01),
@@ -96,7 +99,7 @@ class FaultRule:
 
     mode: str
     rate: float
-    param: float  #: hang seconds, or fraction of entries to corrupt
+    param: float  #: hang seconds, ballast MiB, or corrupt fraction
 
     @property
     def site(self) -> str:
@@ -170,13 +173,23 @@ class FaultInjector:
         journal.emit("fault_injected", site=site, mode=rule.mode)
 
     def maybe_fault(self, site: str) -> None:
-        """Fire error/hang rules armed at ``site`` (may raise or sleep)."""
+        """Fire error/hang/oom rules armed at ``site`` (may raise, sleep
+        or balloon this process's RSS)."""
         for rule in self._by_site.get(site, ()):
             if rule.kind == "hang":
                 fired, _, _ = self._draw(rule)
                 if fired:
                     self._record(rule, site)
                     time.sleep(rule.param)
+            elif rule.kind == "oom":
+                fired, _, _ = self._draw(rule)
+                if fired:
+                    self._record(rule, site)
+                    # one live ballast per process: repeated fires swap
+                    # rather than accumulate, so the injected pressure is
+                    # bounded at `param` MiB (np.ones forces page commit)
+                    n = int(rule.param * 1024 * 1024 / 8)
+                    _BALLAST[os.getpid()] = np.ones(max(1, n), dtype=np.float64)
             elif rule.kind == "error":
                 fired, k, _ = self._draw(rule)
                 if fired:
@@ -202,6 +215,16 @@ _UNSET = object()
 _active: object = _UNSET
 _state = threading.local()
 
+#: pid -> live oom-ballast array.  Keyed by pid so a forked worker's
+#: ballast never aliases the parent's; bounded because each fire swaps
+#: the previous ballast of this process instead of appending.
+_BALLAST: dict[int, np.ndarray] = {}
+
+
+def clear_ballast() -> None:
+    """Drop any oom ballast held by this process."""
+    _BALLAST.pop(os.getpid(), None)
+
 
 def active_injector() -> FaultInjector | None:
     """The process-wide injector; initialized from the environment
@@ -221,6 +244,7 @@ def set_injector(injector: FaultInjector | None) -> None:
     """Install (or with ``None`` disable) the process-wide injector."""
     global _active
     _active = injector
+    clear_ballast()
 
 
 def _suppressed() -> bool:

@@ -1,0 +1,858 @@
+"""Supervised execution: heartbeats, watchdogs, quarantine, degradation.
+
+The process backend (see :mod:`repro.parallel.executors`) recovers from
+worker *errors* (in-worker retries + parent redo) and *deaths* (broken
+pool + serial completion), but two failure classes still stall or sink a
+long run: a worker that silently **hangs** (a stuck kernel never returns,
+never raises) and a worker that **balloons memory** until the OS kills
+something unrelated.  This module closes both holes with a supervision
+layer the executors opt into:
+
+* **Heartbeat table** — a preallocated ``multiprocessing.shared_memory``
+  segment of per-worker slots.  Each worker writes ``[pid, unit,
+  CLOCK_MONOTONIC, rss]`` at unit start and at every retry attempt; the
+  parent reads the table lock-free.  ``CLOCK_MONOTONIC`` is system-wide
+  on Linux, so parent and forked children share the clock.
+* **Hang watchdog** — the parent's dispatch loop doubles as the
+  watchdog: every ``heartbeat_interval`` it compares each busy slot's
+  last beat against a deadline (fixed via ``unit_deadline``, or adaptive
+  ``max(min_deadline, multiplier · observed-per-unit-p95)``), SIGKILLs a
+  silent worker, respawns the slot, and re-dispatches the unit.  The
+  scan period is capped at half the deadline, so a hang is always reaped
+  within 2x the deadline.
+* **Poison-unit quarantine** — a unit that fails or hangs
+  ``quarantine_after`` times is quarantined: the parent completes it
+  with fault injection suppressed (identical arithmetic — bitwise equal
+  to serial), falling back to exact per-pair direct summation
+  (``plan.execute_unit_direct``) if even the suppressed redo fails.
+  Interaction-count stats are frozen at compile time, so quarantine
+  never perturbs them.
+* **Memory watchdog** — heartbeat rows carry each worker's RSS; a worker
+  over the per-process ``memory_budget`` is reaped (kind ``"oom"``).
+  When the *parent* crosses the budget it first triggers the compiled
+  plan's staged :meth:`shed_memory` (float32 rows, then drop-to-spill);
+  only when there is nothing left to shed does the breaker trip.
+* **Circuit breaker / degradation ladder** — accumulated worker deaths
+  (``max_worker_deaths``) or exhausted memory shedding trips the
+  breaker: :class:`BackendDegraded` is raised with partial results kept,
+  and the caller completes the remaining units one rung down the ladder
+  (``process -> thread -> serial``).  The thread rung trips its own
+  breaker on ``max_unit_failures`` accumulated unit failures.
+
+Every supervision event is counted in the metrics registry
+(``supervisor_*`` counters), spanned in traces (``supervisor.*`` spans)
+and journaled (``supervisor.*`` events, journal schema v2), so ``python
+-m repro profile`` shows a health report of what a run absorbed.
+
+Robustness notes: workers are plain ``mp.Process`` objects with one
+task queue each (never more than one unit in flight per worker), so
+SIGKILLing one cannot corrupt another's assignment; a worker killed
+mid-``Queue.put`` can at worst wedge the shared result pipe, which the
+hang watchdog then detects on the remaining workers and the ladder
+degrades past.  All shared-memory segments (operands and the heartbeat
+table) are registered with an ``atexit`` + ``SIGTERM`` cleanup hook, so
+an interrupted run leaves no ``/dev/shm`` residue.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import queue as queue_mod
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import journal
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import get_tracer, is_enabled, span
+from .faults import InjectedFault, maybe_corrupt, maybe_fault, suppress_faults
+from .guards import check_finite
+from .retry import retry_call
+
+__all__ = [
+    "SupervisorConfig",
+    "Supervisor",
+    "HeartbeatTable",
+    "BackendDegraded",
+    "default_config",
+    "current_rss",
+    "complete_quarantined",
+    "run_supervised_plan_process",
+    "create_segment",
+    "release_segment",
+    "cleanup_segments",
+    "ENV_SUPERVISE",
+    "ENV_HEARTBEAT_INTERVAL",
+    "ENV_UNIT_DEADLINE",
+    "ENV_MEMORY_BUDGET",
+]
+
+ENV_SUPERVISE = "REPRO_SUPERVISE"
+ENV_HEARTBEAT_INTERVAL = "REPRO_HEARTBEAT_INTERVAL"
+ENV_UNIT_DEADLINE = "REPRO_UNIT_DEADLINE"
+ENV_MEMORY_BUDGET = "REPRO_MEMORY_BUDGET"  #: MiB
+
+
+# ---------------------------------------------------------------------------
+# RSS measurement
+# ---------------------------------------------------------------------------
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+def current_rss() -> int:
+    """This process's resident set size in bytes (``/proc/self/statm``,
+    falling back to ``getrusage`` peak-RSS on hosts without procfs)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):  # pragma: no cover
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+# ---------------------------------------------------------------------------
+# shared-memory segment tracking: no /dev/shm residue on abnormal exit
+# ---------------------------------------------------------------------------
+#: id(shm) -> (shm, owner pid).  Only the creating process may unlink —
+#: forked children inherit this dict but their hooks skip foreign pids.
+_TRACKED: dict[int, tuple] = {}
+_TRACK_LOCK = threading.Lock()
+_HOOKS_INSTALLED = False
+_SEG_COUNTER = itertools.count()
+
+
+def cleanup_segments() -> None:
+    """Close and unlink every tracked segment owned by this process.
+
+    Registered with ``atexit`` and chained onto SIGTERM; also safe to
+    call directly.  ``unlink`` works even while numpy views of the
+    buffer are still alive (it only removes the ``/dev/shm`` name).
+    """
+    with _TRACK_LOCK:
+        items = list(_TRACKED.values())
+        _TRACKED.clear()
+    for shm, owner in items:
+        if owner != os.getpid():
+            continue
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+def _install_cleanup_hooks() -> None:
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return
+    _HOOKS_INSTALLED = True
+    atexit.register(cleanup_segments)
+    # SIGINT surfaces as KeyboardInterrupt and unwinds through the
+    # executors' finally blocks (and the atexit hook); SIGTERM by
+    # default skips both, so chain a handler that cleans up first.
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal handlers can only be set from the main thread
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _on_term(signum, frame):
+            cleanup_segments()
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+
+        signal.signal(signal.SIGTERM, _on_term)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def create_segment(nbytes: int):
+    """Create a tracked, named ``SharedMemory`` segment.
+
+    The name encodes the owning pid (``repro-<pid>-<seq>-<nonce>``), so
+    leak checks can scan ``/dev/shm`` for a specific process's residue.
+    """
+    from multiprocessing import shared_memory
+
+    name = f"repro-{os.getpid()}-{next(_SEG_COUNTER)}-{os.urandom(3).hex()}"
+    shm = shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)), name=name)
+    _install_cleanup_hooks()
+    with _TRACK_LOCK:
+        _TRACKED[id(shm)] = (shm, os.getpid())
+    return shm
+
+
+def release_segment(shm) -> None:
+    """Close, unlink and untrack one segment (idempotent)."""
+    with _TRACK_LOCK:
+        _TRACKED.pop(id(shm), None)
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# heartbeat table
+# ---------------------------------------------------------------------------
+_IDLE = -1.0  #: unit field of a slot with no unit in flight
+
+
+class HeartbeatTable:
+    """Fixed-slot worker-to-parent heartbeat channel in shared memory.
+
+    Layout: float64 ``(n_slots, 4)`` rows of ``[pid, unit, monotonic_ts,
+    rss_bytes]``.  Exactly one writer per slot (the worker owning it)
+    and one reader (the parent watchdog); the timestamp is written last,
+    and the watchdog tolerates torn reads because it compares timestamps
+    with at least a full heartbeat interval of slack and cross-checks
+    the pid field against its own bookkeeping.
+    """
+
+    FIELDS = 4
+
+    def __init__(self, n_slots: int):
+        self.n_slots = int(n_slots)
+        self._shm = create_segment(self.n_slots * self.FIELDS * 8)
+        self.table = np.ndarray(
+            (self.n_slots, self.FIELDS), dtype=np.float64, buffer=self._shm.buf
+        )
+        self.table[:] = 0.0
+        self.table[:, 1] = _IDLE
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def beat(self, slot: int, unit: int | float, rss: int = 0) -> None:
+        """Publish one heartbeat for ``slot`` (called by the worker)."""
+        row = self.table[slot]
+        row[0] = float(os.getpid())
+        row[1] = float(unit)
+        row[3] = float(rss)
+        row[2] = time.monotonic()  # ts last: fresh ts implies fresh fields
+
+    def clear(self, slot: int) -> None:
+        self.table[slot, 1] = _IDLE
+
+    def read(self) -> np.ndarray:
+        """A snapshot copy of the table (parent watchdog side)."""
+        return np.array(self.table, copy=True)
+
+    def close(self) -> None:
+        self.table = None
+        release_segment(self._shm)
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Thresholds and timings of the supervision layer."""
+
+    heartbeat_interval: float = 0.05  #: watchdog scan period (seconds)
+    unit_deadline: float | None = None  #: fixed hang deadline; None = adaptive
+    deadline_multiplier: float = 4.0  #: adaptive: multiplier x observed p95
+    min_deadline: float = 0.25  #: adaptive floor (seconds)
+    #: deadline before enough samples exist.  Deliberately generous: a
+    #: false timeout on a legitimately slow first unit wastes the whole
+    #: attempt and leaves a CPU-burning abandoned thread, while a real
+    #: hang merely waits this long once before statistics take over.
+    warmup_deadline: float = 10.0
+    warmup_samples: int = 5  #: completed units before p95 is trusted
+    quarantine_after: int = 2  #: failures/hangs before a unit quarantines
+    max_worker_deaths: int = 4  #: breaker: process -> thread
+    max_unit_failures: int = 16  #: breaker: thread -> serial
+    memory_budget: int | None = None  #: per-process RSS budget (bytes)
+    shed_fraction: float = 0.8  #: parent sheds plan memory at this x budget
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.unit_deadline is not None and self.unit_deadline <= 0:
+            raise ValueError(f"unit_deadline must be > 0, got {self.unit_deadline}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError(f"memory_budget must be > 0, got {self.memory_budget}")
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ValueError(
+                f"shed_fraction must be in (0, 1], got {self.shed_fraction}"
+            )
+
+
+def default_config() -> SupervisorConfig | None:
+    """Supervision settings from the environment, or ``None`` when
+    ``REPRO_SUPERVISE`` is not truthy.
+
+    The CLI flags export these variables rather than passing objects, so
+    forked workers and nested entry points see one consistent config.
+    """
+    flag = os.environ.get(ENV_SUPERVISE, "").strip().lower()
+    if flag not in ("1", "true", "yes", "on"):
+        return None
+    kwargs: dict = {}
+    hb = os.environ.get(ENV_HEARTBEAT_INTERVAL, "").strip()
+    if hb:
+        kwargs["heartbeat_interval"] = float(hb)
+    dl = os.environ.get(ENV_UNIT_DEADLINE, "").strip()
+    if dl:
+        kwargs["unit_deadline"] = float(dl)
+    mb = os.environ.get(ENV_MEMORY_BUDGET, "").strip()
+    if mb:
+        kwargs["memory_budget"] = int(float(mb) * 1024 * 1024)
+    return SupervisorConfig(**kwargs)
+
+
+class BackendDegraded(RuntimeError):
+    """The circuit breaker tripped: abandon the current backend and
+    complete the remaining units one rung down the ladder."""
+
+    def __init__(self, backend: str, reason: str):
+        super().__init__(f"{backend} backend degraded: {reason}")
+        self.backend = backend
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# parent-side bookkeeping + event emission
+# ---------------------------------------------------------------------------
+_DURATION_WINDOW = 256  #: recent per-unit durations kept for the p95
+_DEADLINE_REFRESH = 16  #: samples between adaptive-deadline recomputes
+
+
+class Supervisor:
+    """Shared supervision state across the ladder's rungs.
+
+    Tracks per-unit durations (for the adaptive deadline), per-unit
+    failure counts (for quarantine), worker mortality and the breaker,
+    and emits every supervision event to the metrics registry, the
+    tracer and the journal.
+    """
+
+    def __init__(self, config: SupervisorConfig | None = None):
+        self.cfg = config if config is not None else SupervisorConfig()
+        self.quarantined: set[int] = set()
+        self.worker_deaths = 0
+        self.tripped = False
+        self.trip_reason: str | None = None
+        self.n_reaps = 0
+        self.n_quarantines = 0
+        self.n_degradations = 0
+        # adaptive-deadline state: a bounded window of recent durations
+        # plus a cached p95-derived deadline refreshed every
+        # _DEADLINE_REFRESH samples — deadline() is called once per unit,
+        # so it must not sort the history every time
+        self._durations: deque = deque(maxlen=_DURATION_WINDOW)
+        self._max_duration = 0.0
+        self._deadline_cache: float | None = None
+        self._since_refresh = 0
+        self._failures: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- adaptive deadline ---------------------------------------------
+    def record_duration(self, seconds: float) -> None:
+        with self._lock:
+            seconds = float(seconds)
+            self._durations.append(seconds)
+            if seconds > self._max_duration:
+                self._max_duration = seconds
+                self._deadline_cache = None
+            self._since_refresh += 1
+            if self._since_refresh >= _DEADLINE_REFRESH:
+                self._deadline_cache = None
+                self._since_refresh = 0
+
+    def deadline(self) -> float:
+        """Current hang deadline: fixed, or adaptive from observed p95.
+
+        The p95 term calibrates homogeneous workloads; the
+        ``2 x max-observed`` floor protects heterogeneous unit mixes
+        (a few heavy far units among thousands of sub-ms near blocks),
+        where a p95-only deadline would falsely time out every heavy
+        unit — each false timeout wastes the whole attempt *and* leaves
+        an abandoned thread burning CPU.  A genuine hang never
+        completes, so it can never raise the floor.
+        """
+        cfg = self.cfg
+        if cfg.unit_deadline is not None:
+            return cfg.unit_deadline
+        with self._lock:
+            slowest = 2.0 * self._max_duration
+            if len(self._durations) < cfg.warmup_samples:
+                return max(cfg.min_deadline, cfg.warmup_deadline, slowest)
+            if self._deadline_cache is None:
+                durs = sorted(self._durations)
+                p95 = durs[min(len(durs) - 1, int(0.95 * len(durs)))]
+                self._deadline_cache = max(
+                    cfg.min_deadline, cfg.deadline_multiplier * p95, slowest
+                )
+            return self._deadline_cache
+
+    # -- failure accounting --------------------------------------------
+    def record_failure(self, unit: int) -> bool:
+        """Count one failure of ``unit``; True once it crosses the
+        quarantine threshold (exactly once per unit)."""
+        with self._lock:
+            k = self._failures.get(unit, 0) + 1
+            self._failures[unit] = k
+            if k >= self.cfg.quarantine_after and unit not in self.quarantined:
+                self.quarantined.add(unit)
+                return True
+        return False
+
+    def failures_of(self, unit: int) -> int:
+        with self._lock:
+            return self._failures.get(unit, 0)
+
+    def total_failures(self) -> int:
+        with self._lock:
+            return sum(self._failures.values())
+
+    # -- events ---------------------------------------------------------
+    def on_heartbeat_miss(
+        self, slot: int, unit: int, waited: float, deadline: float
+    ) -> None:
+        REGISTRY.counter(
+            "supervisor_heartbeat_misses",
+            "busy worker slots whose heartbeat went stale past the deadline",
+        ).inc()
+        journal.emit(
+            "supervisor.heartbeat_miss",
+            slot=slot,
+            unit=unit,
+            waited_s=waited,
+            deadline_s=deadline,
+        )
+
+    def on_reap(
+        self, slot: int, unit: int, waited: float, deadline: float, kind: str
+    ) -> None:
+        self.n_reaps += 1
+        self.worker_deaths += 1
+        REGISTRY.counter(
+            "supervisor_reaps", "stuck or over-budget workers SIGKILLed"
+        ).inc()
+        if kind == "oom":
+            REGISTRY.counter(
+                "supervisor_oom_reaps", "workers reaped for exceeding the RSS budget"
+            ).inc()
+        journal.emit(
+            "supervisor.reap",
+            slot=slot,
+            unit=unit,
+            waited_s=waited,
+            deadline_s=deadline,
+            kind=kind,
+        )
+
+    def on_worker_death(self, slot: int, unit: int | None) -> None:
+        self.worker_deaths += 1
+        REGISTRY.counter(
+            "supervisor_worker_deaths", "workers that died without being reaped"
+        ).inc()
+        journal.emit("supervisor.worker_death", slot=slot, unit=unit)
+
+    def on_quarantine(self, unit: int, kind: str) -> None:
+        self.n_quarantines += 1
+        REGISTRY.counter(
+            "supervisor_quarantines", "poison units completed on the parent"
+        ).inc()
+        journal.emit(
+            "supervisor.quarantine",
+            unit=unit,
+            failures=self.failures_of(unit),
+            kind=kind,
+        )
+
+    def on_memory_shed(self, freed: int, rss: int, budget: int) -> None:
+        REGISTRY.counter(
+            "supervisor_memory_sheds", "plan memory sheds under RSS pressure"
+        ).inc()
+        REGISTRY.counter(
+            "supervisor_memory_shed_bytes", "plan bytes released under RSS pressure"
+        ).inc(int(freed))
+        journal.emit(
+            "supervisor.memory_shed", freed_bytes=int(freed), rss=int(rss),
+            budget=int(budget),
+        )
+        with span("supervisor.memory_shed", freed_bytes=int(freed)):
+            pass
+
+    def trip(self, reason: str) -> None:
+        if self.tripped:
+            return
+        self.tripped = True
+        self.trip_reason = reason
+        REGISTRY.counter(
+            "supervisor_breaker_trips", "circuit-breaker trips (any rung)"
+        ).inc()
+        journal.emit(
+            "supervisor.breaker_trip",
+            reason=reason,
+            deaths=self.worker_deaths,
+            failures=self.total_failures(),
+        )
+        with span("supervisor.breaker_trip", reason=reason):
+            pass
+
+    def on_degrade(self, frm: str, to: str, reason: str, units_left: int) -> None:
+        self.n_degradations += 1
+        # the next rung gets a fresh breaker
+        self.tripped = False
+        REGISTRY.counter(
+            "supervisor_degradations", "backend downgrades along the ladder"
+        ).inc()
+        journal.emit(
+            "supervisor.degraded", frm=frm, to=to, reason=reason,
+            units_left=units_left,
+        )
+        with span("supervisor.degraded", frm=frm, to=to, reason=reason):
+            pass
+
+
+def complete_quarantined(plan, ctx, q_sorted, unit: int, sup: Supervisor):
+    """Complete a quarantined unit on the supervising process.
+
+    First the suppressed-fault redo (identical arithmetic — bitwise
+    equal to a healthy worker); exact per-pair direct summation
+    (:meth:`execute_unit_direct`) only if even that fails, e.g. on
+    corrupted plan state.
+    """
+    with span("supervisor.quarantine", unit=unit):
+        with suppress_faults():
+            try:
+                tids, vals = plan.execute_unit(ctx, q_sorted, unit)
+                check_finite(
+                    "parallel.quarantine", vals, context="quarantined unit redo"
+                )
+                kind = "redo"
+            except Exception:
+                tids, vals = plan.execute_unit_direct(q_sorted, unit)
+                check_finite(
+                    "parallel.quarantine",
+                    vals,
+                    context="quarantined unit direct summation",
+                )
+                kind = "direct"
+    sup.on_quarantine(unit, kind)
+    return tids, vals
+
+
+# ---------------------------------------------------------------------------
+# supervised process fleet
+# ---------------------------------------------------------------------------
+#: Pre-fork state inherited by supervised workers (shared-memory views
+#: plus the plan's copy-on-write geometry); set by
+#: :func:`run_supervised_plan_process` immediately before spawning.
+_WORKER_STATE: dict = {}
+
+
+def _supervised_worker(slot: int, task_q, result_q) -> None:
+    """Body of one supervised worker process.
+
+    One unit in flight at a time: the parent puts unit ids on this
+    worker's private task queue and results come back on the shared
+    result queue.  Heartbeats are published at unit start and at every
+    retry attempt — an injected (or real) hang inside an attempt stops
+    the beats, which is exactly what the parent watchdog detects.
+    """
+    st = _WORKER_STATE
+    plan, ctx, q_sorted, policy = st["plan"], st["ctx"], st["q"], st["policy"]
+    hb: HeartbeatTable = st["hb"]
+    obs_on = st["obs"]
+    while True:
+        unit = task_q.get()
+        if unit is None:
+            hb.clear(slot)
+            return
+        hb.beat(slot, unit, current_rss())
+        try:
+            maybe_fault("parallel.kill")
+        except InjectedFault:
+            os._exit(3)  # simulated hard crash: no cleanup, no exception
+        if obs_on:
+            get_tracer().clear()
+            REGISTRY.reset()
+
+        def attempt(unit=unit):
+            hb.beat(slot, unit, current_rss())
+            maybe_fault("parallel.block")
+            tids, vals = plan.execute_unit(ctx, q_sorted, unit)
+            vals = maybe_corrupt("parallel.block", vals)
+            check_finite("parallel.block", vals, context="plan unit output")
+            return tids, vals
+
+        try:
+            with span("parallel.block", unit=unit) as sp:
+                (tids, vals), attempts = retry_call(
+                    attempt, policy, site="parallel.block", seed=unit
+                )
+            telemetry = None
+            if obs_on:
+                REGISTRY.histogram(
+                    "parallel_block_seconds", "wall time per worker block"
+                ).observe(sp.elapsed)
+                telemetry = {
+                    "spans": get_tracer().snapshot(),
+                    "metrics": REGISTRY.to_dict(),
+                }
+            ok, payload = True, (tids, vals, attempts, telemetry)
+        except Exception as exc:  # retries exhausted or guards tripped
+            ok, payload = False, f"{type(exc).__name__}: {exc}"
+        hb.beat(slot, _IDLE, current_rss())
+        result_q.put((slot, unit, ok, payload))
+
+
+@dataclass
+class _WorkerHandle:
+    slot: int
+    proc: object
+    queue: object
+    busy: int | None = None
+    assigned_at: float = field(default=0.0)
+
+
+def run_supervised_plan_process(
+    plan,
+    ctx_shared: dict,
+    q_shared: np.ndarray,
+    ctx_local: dict,
+    q_local: np.ndarray,
+    n_workers: int,
+    policy,
+    sup: Supervisor,
+    results: dict,
+    recovery: dict,
+    merge_telemetry,
+) -> None:
+    """Supervised process-backend execution of a plan's units.
+
+    Fills ``results`` (``{unit: (tids, vals)}``) in place; raises
+    :class:`BackendDegraded` when the circuit breaker trips, with every
+    completed unit's result kept so the next rung only runs the rest.
+
+    ``ctx_shared``/``q_shared`` are the shared-memory operand views the
+    workers read; ``ctx_local``/``q_local`` back the parent-side
+    quarantine completions (identical values either way).
+    """
+    import multiprocessing as mp
+
+    global _WORKER_STATE
+    cfg = sup.cfg
+    mpctx = mp.get_context("fork")
+    n_units = plan.n_units
+    pending: deque = deque(i for i in range(n_units) if i not in results)
+    hb = HeartbeatTable(n_workers)
+    result_q = mpctx.Queue()
+    handles: list[_WorkerHandle] = []
+    plan_shed_exhausted = False
+    _WORKER_STATE = {
+        "plan": plan,
+        "ctx": ctx_shared,
+        "q": q_shared,
+        "policy": policy,
+        "hb": hb,
+        "obs": is_enabled(),
+    }
+
+    def spawn(slot: int) -> _WorkerHandle:
+        # fork inherits _WORKER_STATE, the shm mappings and the armed
+        # injector; one private task queue per worker keeps assignments
+        # isolated from SIGKILLs of its siblings
+        q = mpctx.Queue()
+        proc = mpctx.Process(
+            target=_supervised_worker, args=(slot, q, result_q), daemon=True
+        )
+        proc.start()
+        return _WorkerHandle(slot=slot, proc=proc, queue=q)
+
+    def retire(h: _WorkerHandle) -> None:
+        try:
+            h.proc.join(timeout=5.0)
+        except Exception:
+            pass
+        try:
+            h.queue.cancel_join_thread()
+            h.queue.close()
+        except Exception:
+            pass
+
+    def fail_unit(unit: int) -> None:
+        """One failure strike; quarantine-complete or re-dispatch."""
+        if sup.record_failure(unit):
+            results[unit] = complete_quarantined(plan, ctx_local, q_local, unit, sup)
+            recovery["fallbacks"] += 1
+        elif unit not in results:
+            pending.appendleft(unit)
+
+    def check_breaker() -> None:
+        if not sup.tripped and sup.worker_deaths >= cfg.max_worker_deaths:
+            sup.trip("worker_mortality")
+
+    try:
+        handles = [spawn(s) for s in range(n_workers)]
+        while len(results) < n_units:
+            if sup.tripped:
+                raise BackendDegraded("process", sup.trip_reason or "breaker")
+            # dispatch: at most one unit in flight per worker
+            for h in handles:
+                if h.busy is None:
+                    while pending and pending[0] in results:
+                        pending.popleft()
+                    if pending and h.proc.is_alive():
+                        h.busy = pending.popleft()
+                        h.assigned_at = time.monotonic()
+                        h.queue.put(h.busy)
+            # collect: the bounded wait doubles as the watchdog tick
+            deadline_s = sup.deadline()
+            wait = min(cfg.heartbeat_interval, deadline_s / 2.0)
+            try:
+                msg = result_q.get(timeout=wait)
+            except queue_mod.Empty:
+                msg = None
+            except Exception:
+                # a worker killed mid-put can leave a torn pickle in the
+                # shared pipe; drop it — the unit strikes out via its
+                # missing result and the watchdog
+                msg = None
+            while msg is not None:
+                slot, unit, ok, payload = msg
+                h = handles[slot]
+                if h.busy == unit:
+                    sup.record_duration(time.monotonic() - h.assigned_at)
+                    h.busy = None
+                if unit not in results:
+                    if ok:
+                        tids, vals, attempts, telemetry = payload
+                        results[unit] = (tids, vals)
+                        recovery["retries"] += attempts - 1
+                        merge_telemetry(telemetry)
+                    else:
+                        # in-worker retries exhausted or guards tripped
+                        recovery["retries"] += policy.max_retries
+                        fail_unit(unit)
+                try:
+                    msg = result_q.get_nowait()
+                except (queue_mod.Empty, Exception):
+                    msg = None
+            # watchdog scan: hangs, silent deaths, memory pressure
+            now = time.monotonic()
+            snap = hb.read()
+            for h in list(handles):
+                alive = h.proc.is_alive()
+                if h.busy is None:
+                    if not alive:  # died between units (e.g. idle SIGKILL)
+                        sup.on_worker_death(h.slot, None)
+                        retire(h)
+                        handles[h.slot] = spawn(h.slot)
+                        check_breaker()
+                    continue
+                row = snap[h.slot]
+                last = h.assigned_at
+                if int(row[0]) == h.proc.pid and row[2] > last:
+                    last = float(row[2])
+                if not alive:
+                    unit = h.busy
+                    h.busy = None
+                    sup.on_worker_death(h.slot, unit)
+                    retire(h)
+                    handles[h.slot] = spawn(h.slot)
+                    fail_unit(unit)
+                    check_breaker()
+                    continue
+                waited = now - last
+                if waited > deadline_s:
+                    unit = h.busy
+                    h.busy = None
+                    sup.on_heartbeat_miss(h.slot, unit, waited, deadline_s)
+                    with span(
+                        "supervisor.reap", slot=h.slot, unit=unit, kind="hang"
+                    ):
+                        h.proc.kill()
+                    sup.on_reap(h.slot, unit, waited, deadline_s, "hang")
+                    retire(h)
+                    handles[h.slot] = spawn(h.slot)
+                    fail_unit(unit)
+                    check_breaker()
+                    continue
+                if (
+                    cfg.memory_budget
+                    and int(row[0]) == h.proc.pid
+                    and row[3] > cfg.memory_budget
+                ):
+                    unit = h.busy
+                    h.busy = None
+                    with span(
+                        "supervisor.reap", slot=h.slot, unit=unit, kind="oom"
+                    ):
+                        h.proc.kill()
+                    sup.on_reap(h.slot, unit, waited, deadline_s, "oom")
+                    retire(h)
+                    handles[h.slot] = spawn(h.slot)
+                    fail_unit(unit)
+                    check_breaker()
+                    continue
+            # parent memory pressure: shed plan memory before breaking
+            if cfg.memory_budget and not sup.tripped:
+                rss = current_rss()
+                threshold = cfg.shed_fraction * cfg.memory_budget
+                if rss > threshold and not plan_shed_exhausted:
+                    freed = plan.shed_memory()
+                    if freed > 0:
+                        sup.on_memory_shed(freed, rss, cfg.memory_budget)
+                    else:
+                        plan_shed_exhausted = True
+                if rss > cfg.memory_budget and plan_shed_exhausted:
+                    sup.trip("memory_pressure")
+    finally:
+        _WORKER_STATE = {}
+        for h in handles:
+            if h.proc.is_alive():
+                try:
+                    h.queue.put(None)
+                except Exception:
+                    pass
+        for h in handles:
+            try:
+                h.proc.join(timeout=1.0)
+                if h.proc.is_alive():
+                    h.proc.kill()
+                    h.proc.join(timeout=5.0)
+            except Exception:
+                pass
+            try:
+                h.queue.cancel_join_thread()
+                h.queue.close()
+            except Exception:
+                pass
+        try:
+            result_q.cancel_join_thread()
+            result_q.close()
+        except Exception:
+            pass
+        hb.close()

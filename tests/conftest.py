@@ -1,7 +1,30 @@
 """Shared fixtures for the test suite."""
 
+import threading
+
 import numpy as np
 import pytest
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """No test may leak a *non-daemon* thread past the session.
+
+    Deadline-abandoned retry attempts deliberately leave daemon threads
+    behind (tracked by ``repro.robust.retry.abandoned_threads``); those
+    cannot block interpreter exit.  A leaked non-daemon thread would —
+    so its presence here is a bug, not noise.
+    """
+    main = threading.main_thread()
+    leaked = [
+        t
+        for t in threading.enumerate()
+        if t is not main and t.is_alive() and not t.daemon
+    ]
+    if leaked:
+        names = ", ".join(t.name for t in leaked)
+        raise pytest.UsageError(
+            f"non-daemon thread(s) leaked past the test session: {names}"
+        )
 
 
 @pytest.fixture

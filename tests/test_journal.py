@@ -178,6 +178,79 @@ def test_plan_compile_journaled(tmp_path):
     assert data["compile_s"] >= 0
 
 
+# ---------------------------------------------------------------------------
+# schema v2: the supervisor.* event family
+# ---------------------------------------------------------------------------
+def test_schema_v1_journal_still_parses(tmp_path):
+    """The v2 bump changed no envelope field, so v1 journals written by
+    older runs must still parse through read_journal unchanged."""
+    path = tmp_path / "old.jsonl"
+    v1 = {
+        "v": 1,
+        "seq": 0,
+        "ts": 123.0,
+        "pid": 1,
+        "event": "retry",
+        "data": {"site": "parallel.block", "attempt": 1, "error": "E"},
+    }
+    path.write_text(json.dumps(v1) + "\n")
+    assert read_journal(str(path)) == [v1]
+    # ...but a v1 entry can never validate as a supervisor event
+    assert not journal.validate_supervisor_event(v1)
+
+
+def test_every_emitted_supervisor_event_validates(tmp_path):
+    """Each supervisor.* event the Supervisor actually emits carries a
+    v2 envelope and every required payload key of its type."""
+    from repro.robust.supervisor import Supervisor, SupervisorConfig
+
+    path = tmp_path / "run.jsonl"
+    with Journal(str(path)) as j:
+        journal.set_journal(j)
+        sup = Supervisor(SupervisorConfig())
+        sup.on_heartbeat_miss(0, 3, 1.5, 1.0)
+        sup.on_reap(0, 3, 1.5, 1.0, "hang")
+        sup.on_worker_death(1, None)
+        sup.record_failure(3)
+        sup.record_failure(3)
+        sup.on_quarantine(3, "redo")
+        sup.on_memory_shed(1024, 2048, 4096)
+        sup.trip("worker_mortality")
+        sup.on_degrade("process", "thread", "worker_mortality", 5)
+    journal.set_journal(None)
+    sup_events = [
+        e for e in read_journal(str(path)) if e["event"].startswith("supervisor.")
+    ]
+    # the synthetic run exercised the full v2 event family
+    assert {e["event"] for e in sup_events} == set(journal.SUPERVISOR_EVENTS)
+    for e in sup_events:
+        assert e["v"] == journal.SCHEMA_VERSION == 2
+        assert journal.validate_supervisor_event(e)
+
+
+def test_validate_supervisor_event_rejects_malformed():
+    good = {
+        "v": 2,
+        "event": "supervisor.reap",
+        "data": {
+            "slot": 0,
+            "unit": 1,
+            "waited_s": 2.0,
+            "deadline_s": 1.0,
+            "kind": "hang",
+        },
+    }
+    assert journal.validate_supervisor_event(good)
+    assert not journal.validate_supervisor_event({**good, "v": 1})  # old envelope
+    assert not journal.validate_supervisor_event(
+        {**good, "event": "supervisor.unknown"}
+    )
+    assert not journal.validate_supervisor_event({**good, "data": {"slot": 0}})
+    assert not journal.validate_supervisor_event(
+        {"v": 2, "event": "retry", "data": {}}  # not a supervisor event
+    )
+
+
 def test_cli_journal_wraps_run(tmp_path):
     """--journal on a real (tiny) CLI run produces run_start ... run_end."""
     from repro.cli import main

@@ -122,6 +122,84 @@ def test_treecode_bound_property(seed, alpha):
         assert np.all(np.abs(res.potential - ref) <= res.error_bound + 1e-11)
 
 
+# ---------------------------------------------------------------------------
+# degenerate geometry: the treecode must either evaluate within its
+# Theorem-1 ledger or fail loudly through the guards — never hang and
+# never return NaN silently
+# ---------------------------------------------------------------------------
+
+
+def _check_ledger(pts, q, policy, alpha=0.5, leaf_size=4):
+    tc = Treecode(pts, q, degree_policy=policy, alpha=alpha, leaf_size=leaf_size)
+    res = tc.evaluate(accumulate_bounds=True)
+    assert np.all(np.isfinite(res.potential)), "silent NaN/Inf in potential"
+    assert np.all(np.isfinite(res.error_bound)), "silent NaN/Inf in bound"
+    ref = direct_potential(pts, q)
+    scale = max(1.0, float(np.abs(ref).max()))
+    assert np.all(
+        np.abs(res.potential - ref) <= res.error_bound + 1e-11 * scale
+    )
+    return res
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_coincident_particles_property(seed, n_dup):
+    """Clusters of exactly coincident points (zero-extent leaves) stay
+    within the ledger — r-a denominators must not blow up."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((20, 3))
+    pts = np.concatenate([base, np.repeat(base[:n_dup], 3, axis=0)])
+    q = rng.uniform(-1, 1, len(pts))
+    _check_ledger(pts, q, AdaptiveChargeDegree(p0=3, alpha=0.5))
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_all_zero_charges_property(seed):
+    """q = 0 everywhere: the potential and the bound are exactly zero
+    (A_j = 0 collapses Theorem 1), with no 0/0 NaN."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((80, 3))
+    q = np.zeros(80)
+    res = _check_ledger(pts, q, AdaptiveChargeDegree(p0=3, alpha=0.5))
+    assert np.all(res.potential == 0.0)
+    assert np.all(res.error_bound == 0.0)
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(2, 40))
+@settings(max_examples=15, deadline=None)
+def test_single_leaf_tree_property(seed, n):
+    """Instances that fit in one leaf (root == leaf, no far field at
+    all) reduce to the exact direct sum with a zero bound."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 3))
+    q = rng.uniform(-1, 1, n)
+    res = _check_ledger(
+        pts, q, AdaptiveChargeDegree(p0=3, alpha=0.5), leaf_size=64
+    )
+    ref = direct_potential(pts, q)
+    scale = max(1.0, float(np.abs(ref).max()))
+    assert np.allclose(res.potential, ref, rtol=0, atol=1e-12 * scale)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_extreme_charge_contrast_property(seed):
+    """|q| spanning 12 decades: Theorem-3 degree selection sees A_j
+    ratios of 1e12 and the ledger must still dominate the error."""
+    rng = np.random.default_rng(seed)
+    n = 100
+    pts = rng.random((n, 3))
+    mag = 10.0 ** rng.uniform(-6, 6, n)
+    q = mag * np.where(rng.random(n) < 0.5, -1.0, 1.0)
+    for policy in (
+        FixedDegree(4),
+        AdaptiveChargeDegree(p0=3, alpha=0.5),
+    ):
+        _check_ledger(pts, q, policy)
+
+
 @given(st.integers(0, 2**31 - 1))
 @settings(max_examples=10, deadline=None)
 def test_treecode_translation_invariance(seed):

@@ -1,0 +1,695 @@
+"""Supervised execution: heartbeats, watchdogs, quarantine, ladder.
+
+Covers the supervision layer (repro.robust.supervisor) end to end: the
+shared-memory heartbeat table, adaptive hang deadlines, hang/OOM reaps
+on the process backend, poison-unit quarantine, the memory breaker with
+plan shedding, the process -> thread -> serial degradation ladder, the
+abandoned-attempt-thread ledger, shared-memory hygiene on abnormal
+exit, and the CLI/environment wiring.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.degree import FixedDegree
+from repro.core.treecode import Treecode
+from repro.data.distributions import make_distribution, unit_charges
+from repro.direct import direct_potential
+from repro.obs import REGISTRY, journal, tracing
+from repro.obs.journal import Journal, read_journal
+from repro.parallel import evaluate_parallel, evaluate_plan_parallel
+from repro.parallel.executors import scatter_add
+from repro.robust import (
+    AttemptTimeout,
+    FaultInjector,
+    RetryPolicy,
+    abandoned_threads,
+    parse_fault_spec,
+    retry_call,
+    set_injector,
+)
+from repro.robust import supervisor as sup_mod
+from repro.robust.supervisor import (
+    HeartbeatTable,
+    Supervisor,
+    SupervisorConfig,
+    cleanup_segments,
+    create_segment,
+    current_rss,
+    default_config,
+    release_segment,
+)
+
+posix_only = pytest.mark.skipif(
+    os.name != "posix", reason="fork-based process pool"
+)
+
+#: millisecond backoff so failure paths stay fast under test
+FAST = RetryPolicy(max_retries=2, base_delay=0.0, max_delay=0.001)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    tracing.disable()
+    tracing.get_tracer().clear()
+    REGISTRY.reset()
+    set_injector(None)
+    journal.set_journal(None)
+    yield
+    tracing.disable()
+    tracing.get_tracer().clear()
+    REGISTRY.reset()
+    set_injector(None)
+    journal.set_journal(None)
+
+
+def small_plan(n=900, n_units=4, leaf_size=96, seed=7):
+    """A cluster plan with few, chunky units: hang/reap tests need every
+    unit to matter, not thousands of sub-ms near blocks."""
+    pts = make_distribution("uniform", n, seed=seed)
+    q = unit_charges(n, seed=seed + 1, signed=True)
+    tc = Treecode(
+        pts, q, degree_policy=FixedDegree(3), alpha=0.6, leaf_size=leaf_size
+    )
+    return tc.compile_plan(mode="cluster", n_units=n_units), q
+
+
+def supervisor_counters():
+    return {
+        k: v
+        for k, v in REGISTRY.to_dict()["counters"].items()
+        if k.startswith("supervisor_")
+    }
+
+
+# ---------------------------------------------------------------------------
+# heartbeat table + shared-memory hygiene
+# ---------------------------------------------------------------------------
+class TestHeartbeatTable:
+    def test_beat_read_clear(self):
+        hb = HeartbeatTable(2)
+        try:
+            assert hb.name.startswith(f"repro-{os.getpid()}-")
+            hb.beat(0, 5, rss=12345)
+            snap = hb.read()
+            assert int(snap[0, 0]) == os.getpid()
+            assert int(snap[0, 1]) == 5
+            assert snap[0, 2] > 0.0  # monotonic timestamp published last
+            assert int(snap[0, 3]) == 12345
+            assert int(snap[1, 1]) == -1  # untouched slot reads idle
+            hb.clear(0)
+            assert int(hb.read()[0, 1]) == -1
+        finally:
+            hb.close()
+
+    @posix_only
+    def test_close_leaves_no_shm_residue(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this host")
+        hb = HeartbeatTable(3)
+        name = hb.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        hb.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    @posix_only
+    def test_cleanup_segments_sweeps_unreleased(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this host")
+        shm = create_segment(256)
+        name = shm.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        cleanup_segments()  # the atexit/SIGTERM hook, called directly
+        assert not os.path.exists(f"/dev/shm/{name}")
+        release_segment(shm)  # idempotent on an already-swept segment
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heartbeat_interval": 0.0},
+            {"unit_deadline": -1.0},
+            {"quarantine_after": 0},
+            {"memory_budget": 0},
+            {"shed_fraction": 0.0},
+            {"shed_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
+
+    def test_default_config_off_without_env(self, monkeypatch):
+        monkeypatch.delenv(sup_mod.ENV_SUPERVISE, raising=False)
+        assert default_config() is None
+        monkeypatch.setenv(sup_mod.ENV_SUPERVISE, "0")
+        assert default_config() is None
+
+    def test_default_config_from_env(self, monkeypatch):
+        monkeypatch.setenv(sup_mod.ENV_SUPERVISE, "true")
+        monkeypatch.setenv(sup_mod.ENV_HEARTBEAT_INTERVAL, "0.1")
+        monkeypatch.setenv(sup_mod.ENV_UNIT_DEADLINE, "2.5")
+        monkeypatch.setenv(sup_mod.ENV_MEMORY_BUDGET, "512")  # MiB
+        cfg = default_config()
+        assert cfg is not None
+        assert cfg.heartbeat_interval == 0.1
+        assert cfg.unit_deadline == 2.5
+        assert cfg.memory_budget == 512 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# adaptive deadline + failure accounting
+# ---------------------------------------------------------------------------
+class TestSupervisorState:
+    def test_fixed_deadline_wins(self):
+        sup = Supervisor(SupervisorConfig(unit_deadline=1.5))
+        for _ in range(50):
+            sup.record_duration(10.0)
+        assert sup.deadline() == 1.5
+
+    def test_warmup_deadline_and_slowest_floor(self):
+        sup = Supervisor(SupervisorConfig())
+        assert sup.deadline() == SupervisorConfig().warmup_deadline
+        sup.record_duration(6.0)  # one slow unit during warmup
+        assert sup.deadline() == 12.0  # 2 x max observed beats the warmup
+
+    def test_p95_deadline_with_heterogeneity_floor(self):
+        sup = Supervisor(SupervisorConfig())
+        for _ in range(100):
+            sup.record_duration(0.01)
+        # homogeneous: p95 term is tiny, the floor is min_deadline
+        assert sup.deadline() == SupervisorConfig().min_deadline
+        # one heavy far unit among thousands of near blocks must raise
+        # the deadline to 2 x its duration, or it would be falsely
+        # reaped on every dispatch
+        sup.record_duration(1.0)
+        assert sup.deadline() == 2.0
+
+    def test_record_failure_quarantines_exactly_once(self):
+        sup = Supervisor(SupervisorConfig(quarantine_after=2))
+        assert sup.record_failure(7) is False
+        assert sup.record_failure(7) is True  # crosses the threshold
+        assert sup.record_failure(7) is False  # but only once
+        assert sup.failures_of(7) == 3
+        assert sup.total_failures() == 3
+        assert sup.quarantined == {7}
+
+
+# ---------------------------------------------------------------------------
+# clean runs: supervision must be invisible
+# ---------------------------------------------------------------------------
+class TestCleanRuns:
+    def test_supervised_thread_run_bitwise_and_eventless(self):
+        plan, q = small_plan()
+        base = evaluate_plan_parallel(plan, q, n_threads=2, supervise=False)
+        sup = evaluate_plan_parallel(
+            plan, q, n_threads=2, supervise=SupervisorConfig()
+        )
+        np.testing.assert_array_equal(sup.potential, base.potential)
+        assert sup.n_quarantined == sup.n_reaped == sup.n_degradations == 0
+        assert supervisor_counters() == {}  # no events on a healthy run
+
+    def test_supervised_wblock_run_bitwise(self):
+        pts = make_distribution("uniform", 500, seed=3)
+        q = unit_charges(500, seed=4, signed=True)
+        tc = Treecode(pts, q, degree_policy=FixedDegree(3), alpha=0.6)
+        base = evaluate_parallel(tc, n_threads=2, w=64, supervise=False)
+        sup = evaluate_parallel(
+            tc, n_threads=2, w=64, supervise=SupervisorConfig()
+        )
+        np.testing.assert_array_equal(sup.potential, base.potential)
+        assert supervisor_counters() == {}
+
+    @posix_only
+    def test_supervised_process_run_bitwise(self):
+        plan, q = small_plan()
+        base = evaluate_plan_parallel(
+            plan, q, n_threads=2, backend="process", supervise=False
+        )
+        sup = evaluate_plan_parallel(
+            plan, q, n_threads=2, backend="process", supervise=SupervisorConfig()
+        )
+        np.testing.assert_array_equal(sup.potential, base.potential)
+        assert sup.n_reaped == 0
+
+
+# ---------------------------------------------------------------------------
+# hang reaping + quarantine (process backend)
+# ---------------------------------------------------------------------------
+@posix_only
+class TestHangReaping:
+    def test_hangs_reaped_within_twice_deadline(self, tmp_path):
+        plan, q = small_plan()
+        serial = plan.execute(q).potential
+        deadline = 0.4
+        jpath = tmp_path / "run.jsonl"
+        # 15% of the 68 units sleep far past the deadline (~10 expected
+        # hangs; the chance of a hang-free run is ~1e-5)
+        set_injector(
+            FaultInjector(parse_fault_spec("block_hang:0.15:5"), seed=2)
+        )
+        with Journal(str(jpath)) as j:
+            journal.set_journal(j)
+            res = evaluate_plan_parallel(
+                plan,
+                q,
+                n_threads=2,
+                backend="process",
+                retry=FAST,
+                supervise=SupervisorConfig(
+                    unit_deadline=deadline,
+                    quarantine_after=1,
+                    max_worker_deaths=10_000,  # keep the ladder out of this test
+                ),
+            )
+        journal.set_journal(None)
+        set_injector(None)
+        np.testing.assert_array_equal(res.potential, serial)
+        assert res.n_reaped >= 1
+        assert res.n_quarantined >= 1
+        reaps = [
+            e
+            for e in read_journal(str(jpath))
+            if e["event"] == "supervisor.reap"
+        ]
+        assert reaps, "reaps must be journaled"
+        for e in reaps:
+            assert journal.validate_supervisor_event(e)
+            # the watchdog scan period is capped at deadline/2, so a
+            # silent worker is reaped within 2x the deadline
+            assert e["data"]["waited_s"] <= 2.0 * e["data"]["deadline_s"]
+        counters = supervisor_counters()
+        assert counters.get("supervisor_reaps", 0) == res.n_reaped
+        assert counters.get("supervisor_quarantines", 0) == res.n_quarantined
+
+    def test_worker_mortality_degrades_down_the_ladder(self, tmp_path):
+        plan, q = small_plan()
+        serial = plan.execute(q).potential
+        jpath = tmp_path / "run.jsonl"
+        set_injector(
+            FaultInjector(parse_fault_spec("block_kill:0.6"), seed=5)
+        )
+        with Journal(str(jpath)) as j:
+            journal.set_journal(j)
+            res = evaluate_plan_parallel(
+                plan,
+                q,
+                n_threads=2,
+                backend="process",
+                retry=FAST,
+                supervise=SupervisorConfig(
+                    unit_deadline=5.0, max_worker_deaths=2
+                ),
+            )
+        journal.set_journal(None)
+        set_injector(None)
+        # the thread/serial rungs rerun units with identical arithmetic
+        np.testing.assert_array_equal(res.potential, serial)
+        assert res.n_degradations >= 1
+        events = read_journal(str(jpath))
+        trips = [e for e in events if e["event"] == "supervisor.breaker_trip"]
+        degraded = [e for e in events if e["event"] == "supervisor.degraded"]
+        assert trips and trips[0]["data"]["reason"] == "worker_mortality"
+        assert degraded and degraded[0]["data"]["frm"] == "process"
+        assert degraded[0]["data"]["to"] == "thread"
+
+    def test_oom_workers_reaped(self, tmp_path):
+        plan, q = small_plan(n=600, n_units=2, leaf_size=200)
+        serial = plan.execute(q).potential
+        jpath = tmp_path / "run.jsonl"
+        # every attempt balloons worker RSS by ~96 MiB over a budget set
+        # ~48 MiB above the current (soon-to-be-forked) image, then
+        # sleeps briefly: the ballast survives into the *next* unit's
+        # heartbeat, and the sleep keeps the slot busy long enough for
+        # the RSS watchdog to observe it
+        budget = current_rss() + 48 * 1024 * 1024
+        set_injector(
+            FaultInjector(
+                parse_fault_spec("block_oom:1.0:96,block_hang:1.0:0.3"), seed=1
+            )
+        )
+        with Journal(str(jpath)) as j:
+            journal.set_journal(j)
+            res = evaluate_plan_parallel(
+                plan,
+                q,
+                n_threads=2,
+                backend="process",
+                retry=FAST,
+                supervise=SupervisorConfig(
+                    unit_deadline=30.0,  # only the RSS watchdog may fire
+                    quarantine_after=1,
+                    max_worker_deaths=10_000,
+                    memory_budget=budget,
+                ),
+            )
+        journal.set_journal(None)
+        set_injector(None)
+        np.testing.assert_array_equal(res.potential, serial)
+        oom_reaps = [
+            e
+            for e in read_journal(str(jpath))
+            if e["event"] == "supervisor.reap" and e["data"]["kind"] == "oom"
+        ]
+        assert oom_reaps, "over-budget workers must be reaped as oom"
+        assert supervisor_counters().get("supervisor_oom_reaps", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# memory breaker: shed, then trip, then ladder
+# ---------------------------------------------------------------------------
+@posix_only
+class TestMemoryBreaker:
+    def test_parent_sheds_then_trips_then_ladder_completes(self, tmp_path):
+        plan, q = small_plan(n=600, n_units=2, leaf_size=200)
+        serial = plan.execute(q).potential
+        jpath = tmp_path / "run.jsonl"
+        with Journal(str(jpath)) as j:
+            journal.set_journal(j)
+            res = evaluate_plan_parallel(
+                plan,
+                q,
+                n_threads=2,
+                backend="process",
+                retry=FAST,
+                # 1-byte budget: the parent is over it from the start, so
+                # it must shed the plan's stages, then trip the breaker,
+                # then finish down the ladder.  Workers are over it too
+                # and get oom-reaped; mortality must not trip first.
+                supervise=SupervisorConfig(
+                    unit_deadline=30.0,
+                    quarantine_after=1,
+                    max_worker_deaths=10_000_000,
+                    memory_budget=1,
+                ),
+            )
+        journal.set_journal(None)
+        # stage-1 shed casts precomputed operators to float32, so units
+        # evaluated between the sheds are approximate — allclose, not
+        # bitwise (stage 2 drops to the exact recompute paths)
+        scale = max(1.0, float(np.abs(serial).max()))
+        np.testing.assert_allclose(
+            res.potential, serial, rtol=0, atol=1e-4 * scale
+        )
+        events = read_journal(str(jpath))
+        sheds = [e for e in events if e["event"] == "supervisor.memory_shed"]
+        trips = [e for e in events if e["event"] == "supervisor.breaker_trip"]
+        assert sheds, "the parent must shed plan memory before breaking"
+        assert any(e["data"]["reason"] == "memory_pressure" for e in trips)
+        assert res.n_degradations >= 1
+        counters = supervisor_counters()
+        assert counters.get("supervisor_memory_sheds", 0) >= 1
+        assert counters.get("supervisor_memory_shed_bytes", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# shed stages + quarantine's exact last resort
+# ---------------------------------------------------------------------------
+class TestShedAndDirect:
+    def test_shed_memory_stages_and_accuracy(self):
+        # target-major plan: stage 2 drops *all* precomputed operators
+        # to the exact recompute paths, so full accuracy returns (the
+        # cluster plan keeps float32 L2P rows after stage 1)
+        pts = make_distribution("uniform", 900, seed=7)
+        q = unit_charges(900, seed=8, signed=True)
+        plan = Treecode(
+            pts, q, degree_policy=FixedDegree(3), alpha=0.6
+        ).compile_plan()
+        base = plan.execute(q).potential
+        before = plan.memory_bytes
+        scale = max(1.0, float(np.abs(base).max()))
+
+        freed1 = plan.shed_memory()  # stage 1: float32 operators
+        assert freed1 > 0
+        assert plan.memory_bytes == before - freed1
+        stage1 = plan.execute(q).potential
+        assert np.allclose(stage1, base, rtol=0, atol=1e-4 * scale)
+
+        freed2 = plan.shed_memory()  # stage 2: drop to exact recompute
+        assert freed2 > 0
+        stage2 = plan.execute(q).potential
+        np.testing.assert_allclose(stage2, base, rtol=0, atol=1e-12 * scale)
+
+        assert plan.shed_memory() == 0  # nothing left: breaker's cue
+
+    def test_execute_unit_direct_sums_to_direct_potential(self):
+        plan, q = small_plan(n=400)
+        pts = make_distribution("uniform", 400, seed=7)
+        q_sorted = plan.sort_charges(q)
+        phi = np.zeros(plan.n_targets, dtype=np.float64)
+        for i in range(plan.n_units):
+            tids, vals = plan.execute_unit_direct(q_sorted, i)
+            scatter_add(phi, tids, vals)
+        phi, _, _ = plan.finalize(phi)
+        ref = direct_potential(pts, q)
+        scale = max(1.0, float(np.abs(ref).max()))
+        # per-pair summation everywhere: no truncation error at all
+        np.testing.assert_allclose(phi, ref, rtol=0, atol=1e-10 * scale)
+
+
+# ---------------------------------------------------------------------------
+# the ISSUE acceptance scenario: n=20k under combined hang+kill chaos
+# ---------------------------------------------------------------------------
+@posix_only
+class TestAcceptance:
+    def test_20k_chaos_run_bitwise_with_full_ledger(self, tmp_path):
+        n = 20000
+        pts = make_distribution("uniform", n, seed=11)
+        q = unit_charges(n, seed=12, signed=True)
+        tc = Treecode(
+            pts, q, degree_policy=FixedDegree(2), alpha=0.7, leaf_size=1000
+        )
+        plan = tc.compile_plan(mode="cluster", n_units=6)  # 6 far + 68 near
+        serial = plan.execute(q).potential
+        jpath = tmp_path / "run.jsonl"
+        tracing.enable()
+        set_injector(
+            FaultInjector(
+                parse_fault_spec("block_hang:0.2:1,block_kill:0.1"), seed=3
+            )
+        )
+        with Journal(str(jpath)) as j:
+            journal.set_journal(j)
+            res = evaluate_plan_parallel(
+                plan,
+                q,
+                n_threads=2,
+                backend="process",
+                retry=FAST,
+                supervise=SupervisorConfig(
+                    unit_deadline=0.4, quarantine_after=1, max_worker_deaths=6
+                ),
+            )
+        journal.set_journal(None)
+        set_injector(None)
+
+        np.testing.assert_array_equal(res.potential, serial)
+        assert res.n_reaped >= 1
+        assert res.n_quarantined >= 1
+        assert res.n_degradations >= 1
+
+        # ... and every supervision event is visible in all three sinks
+        events = read_journal(str(jpath))
+        kinds = {e["event"] for e in events}
+        assert {"supervisor.reap", "supervisor.quarantine",
+                "supervisor.degraded"} <= kinds
+        for e in events:
+            if e["event"] == "supervisor.reap" and e["data"]["kind"] == "hang":
+                assert e["data"]["waited_s"] <= 2.0 * e["data"]["deadline_s"]
+        counters = supervisor_counters()
+        assert counters.get("supervisor_reaps", 0) >= 1
+        assert counters.get("supervisor_quarantines", 0) >= 1
+        assert counters.get("supervisor_degradations", 0) >= 1
+        span_names = {e["name"] for e in tracing.get_tracer().events()}
+        assert "supervisor.quarantine" in span_names
+        assert "supervisor.degraded" in span_names
+
+
+# ---------------------------------------------------------------------------
+# abandoned attempt threads: tracked, counted, daemonic
+# ---------------------------------------------------------------------------
+class TestAbandonedThreads:
+    def test_timeout_tracks_daemon_thread_and_counter(self):
+        before = REGISTRY.to_dict()["counters"].get(
+            "retry_abandoned_threads", 0
+        )
+        with pytest.raises(Exception) as excinfo:
+            retry_call(
+                lambda: time.sleep(1.0),
+                RetryPolicy(max_retries=0, base_delay=0.0, deadline=0.05),
+                site="test.hang",
+            )
+        assert isinstance(excinfo.value.__cause__ or excinfo.value,
+                          (AttemptTimeout, Exception))
+        after = REGISTRY.to_dict()["counters"]["retry_abandoned_threads"]
+        assert after == before + 1
+        alive = abandoned_threads()
+        assert alive, "the hung attempt thread must be tracked"
+        assert all(t.daemon for t in alive)
+        assert all(t.name.startswith("abandoned-") for t in alive)
+        # once the hung call returns, the runner exits and the ledger
+        # prunes itself — no permanent thread leak
+        for t in alive:
+            t.join(timeout=5.0)
+        assert abandoned_threads() == []
+
+    def test_runner_reuse_and_replacement(self):
+        from repro.robust.retry import _RUNNERS
+
+        pol = RetryPolicy(max_retries=0, base_delay=0.0, deadline=5.0)
+        assert retry_call(lambda: 41 + 1, pol, site="t")[0] == 42
+        first = getattr(_RUNNERS, "runner", None)
+        assert first is not None
+        assert retry_call(lambda: 7, pol, site="t")[0] == 7
+        assert getattr(_RUNNERS, "runner") is first  # reused, not respawned
+        with pytest.raises(Exception):
+            retry_call(
+                lambda: time.sleep(0.5),
+                RetryPolicy(max_retries=0, base_delay=0.0, deadline=0.02),
+                site="t",
+            )
+        # the poisoned runner was dropped; the next call gets a fresh one
+        assert retry_call(lambda: 9, pol, site="t")[0] == 9
+        assert getattr(_RUNNERS, "runner") is not first
+        first.thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# abnormal-exit hygiene: SIGINT mid-run leaves no /dev/shm residue
+# ---------------------------------------------------------------------------
+@posix_only
+class TestAbnormalExit:
+    def test_sigint_leaves_no_shm_residue(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this host")
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        child_code = textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, sys.argv[1])
+            from repro.core.degree import FixedDegree
+            from repro.core.treecode import Treecode
+            from repro.data.distributions import make_distribution, unit_charges
+            from repro.parallel import evaluate_plan_parallel
+            from repro.robust import FaultInjector, parse_fault_spec, set_injector
+            from repro.robust.supervisor import SupervisorConfig
+
+            n = 600
+            pts = make_distribution("uniform", n, seed=0)
+            q = unit_charges(n, seed=1, signed=True)
+            plan = Treecode(
+                pts, q, degree_policy=FixedDegree(3), alpha=0.6, leaf_size=96
+            ).compile_plan(mode="cluster", n_units=2)
+            set_injector(
+                FaultInjector(parse_fault_spec("block_hang:1.0:60"), seed=0)
+            )
+            print("RUNNING", flush=True)
+            evaluate_plan_parallel(
+                plan, q, n_threads=2, backend="process",
+                supervise=SupervisorConfig(unit_deadline=45.0),
+            )
+            """
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child_code, src],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "RUNNING"
+            time.sleep(1.5)  # let the heartbeat/operand segments appear
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        leftover = [
+            f
+            for f in os.listdir("/dev/shm")
+            if f.startswith(f"repro-{proc.pid}-")
+        ]
+        assert leftover == [], f"SIGINT leaked shared memory: {leftover}"
+
+
+# ---------------------------------------------------------------------------
+# CLI / environment wiring
+# ---------------------------------------------------------------------------
+class TestCliWiring:
+    @pytest.fixture(autouse=True)
+    def _restore_env(self):
+        keys = (
+            sup_mod.ENV_SUPERVISE,
+            sup_mod.ENV_HEARTBEAT_INTERVAL,
+            sup_mod.ENV_UNIT_DEADLINE,
+            sup_mod.ENV_MEMORY_BUDGET,
+        )
+        saved = {k: os.environ.get(k) for k in keys}
+        yield
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+    def test_supervise_flags_export_env(self):
+        from repro.cli import main
+
+        code = main(
+            [
+                "leaf-sweep",
+                "--seed",
+                "0",
+                "--supervise",
+                "--unit-deadline",
+                "1.5",
+                "--memory-budget",
+                "256",
+            ]
+        )
+        assert code == 0
+        assert os.environ[sup_mod.ENV_SUPERVISE] == "1"
+        assert float(os.environ[sup_mod.ENV_UNIT_DEADLINE]) == 1.5
+        assert float(os.environ[sup_mod.ENV_MEMORY_BUDGET]) == 256.0
+
+    def test_tuning_flag_implies_supervise(self):
+        from repro.cli import main
+
+        os.environ.pop(sup_mod.ENV_SUPERVISE, None)
+        code = main(["leaf-sweep", "--seed", "0", "--heartbeat-interval", "0.2"])
+        assert code == 0
+        assert os.environ[sup_mod.ENV_SUPERVISE] == "1"
+        assert os.environ[sup_mod.ENV_HEARTBEAT_INTERVAL] == "0.2"
+
+    def test_invalid_tuning_rejected(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["leaf-sweep", "--seed", "0", "--unit-deadline", "-1"])
+
+    def test_health_report_lists_supervision_counters(self):
+        from repro.cli import _health_report
+
+        report = _health_report(
+            {
+                "supervisor_reaps": 3,
+                "supervisor_quarantines": 1,
+                "other_counter": 9,
+            }
+        )
+        assert "supervision health" in report
+        assert "3" in report and "workers reaped" in report
+        assert "other_counter" not in report
+        assert _health_report({"plain": 1}) == ""
