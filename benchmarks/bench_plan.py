@@ -9,7 +9,11 @@ Two benchmark suites share this driver:
   ``mode="cluster"`` plan at n=50k must beat the un-planned matvec by
   >= 4x inside the 512 MiB default budget with zero far spills, stay
   within its own Theorem-1 ledger of a sampled direct sum, and agree
-  with the target-major plan within the two ledgers combined.
+  with the target-major plan within the two ledgers combined.  The
+  suite also measures the variable-order (``tol``-compiled) plan
+  against the minimal uniform-degree plan with the same Theorem-1
+  guarantee: >= 2x matvec speedup with no memory growth at n=50k, and
+  the variable plan's ledger must stay within the target tolerance.
 
 Run standalone (pytest-free so CI can gate on the exit code)::
 
@@ -285,6 +289,53 @@ def run_smoke(out_path: pathlib.Path | None = None) -> int:
     return 0
 
 
+def bench_variable_order(n: int, repeats: int, alpha: float = 0.5, p0: int = 4) -> dict:
+    """Variable-order cluster plan vs the minimal uniform-degree plan
+    carrying the same Theorem-1 guarantee.
+
+    The target tolerance is the baseline (adaptive-degree) cluster
+    plan's own a-posteriori ledger maximum, so every plan in the
+    comparison promises the same worst-case accuracy.  The uniform
+    plan must hold the selection's maximum degree at every interaction;
+    the variable plan holds it only where the bound demands it — the
+    speedup and memory ratio measure exactly that waste.
+    """
+    from repro.core.degree import FixedDegree
+
+    pts = make_distribution("uniform", n, seed=n)
+    q = unit_charges(n, seed=n + 1, signed=True)
+    q2 = unit_charges(n, seed=n + 2, signed=True)
+    tc = Treecode(
+        pts, q, degree_policy=AdaptiveChargeDegree(p0=p0, alpha=alpha), alpha=alpha
+    )
+    base = tc.compile_plan(mode="cluster", accumulate_bounds=True)
+    tol = float(base.execute(q2).error_bound.max())
+
+    var = tc.compile_plan(mode="cluster", tol=tol)
+    p_max = int(var.pair_degrees.max()) if var.pair_degrees.size else 0
+    tcf = Treecode(pts, q, degree_policy=FixedDegree(p_max), alpha=alpha)
+    fixed = tcf.compile_plan(mode="cluster")
+    t_var, _ = _time_best(lambda: var.execute(q2), repeats)
+    t_fixed, _ = _time_best(lambda: fixed.execute(q2), repeats)
+
+    varb = tc.compile_plan(mode="cluster", tol=tol, accumulate_bounds=True)
+    ledger = float(varb.execute(q2).error_bound.max())
+    return {
+        "n": n,
+        "tol": tol,
+        "degree_min": int(var.pair_degrees.min()) if var.pair_degrees.size else 0,
+        "degree_max": p_max,
+        "fixed_matvec_s": t_fixed,
+        "variable_matvec_s": t_var,
+        "variable_order_speedup": t_fixed / t_var,
+        "fixed_plan_mb": fixed.memory_bytes / 1e6,
+        "variable_plan_mb": var.memory_bytes / 1e6,
+        "variable_order_mem_ratio": var.memory_bytes / fixed.memory_bytes,
+        "ledger_max": ledger,
+        "variable_order_ledger_headroom": tol - ledger,
+    }
+
+
 def run_full_cluster(out_path: pathlib.Path) -> int:
     """BENCH_4: cluster-cluster plans at n in {10k, 50k}."""
     budget_mb = 512 * 1024 * 1024 / 1e6
@@ -304,6 +355,18 @@ def run_full_cluster(out_path: pathlib.Path) -> int:
                 else ""
             )
         )
+    vo = bench_variable_order(50000, repeats=1)
+    report["variable_order"] = vo
+    print(
+        f"variable-order n=50000 (tol {vo['tol']:.2e}, degrees "
+        f"{vo['degree_min']}..{vo['degree_max']}): uniform p={vo['degree_max']} "
+        f"{vo['fixed_matvec_s'] * 1e3:8.1f} ms, variable "
+        f"{vo['variable_matvec_s'] * 1e3:8.1f} ms "
+        f"({vo['variable_order_speedup']:.1f}x), memory "
+        f"{vo['variable_plan_mb']:.0f}/{vo['fixed_plan_mb']:.0f} MB "
+        f"({vo['variable_order_mem_ratio']:.2f}x), ledger headroom "
+        f"{vo['variable_order_ledger_headroom']:.2e}"
+    )
     big = report["treecode_cluster"][-1]
     acceptance = {
         "speedup_4x_at_50k": big["speedup"] >= 4.0,
@@ -317,6 +380,11 @@ def run_full_cluster(out_path: pathlib.Path) -> int:
         "pc_within_combined_ledgers": all(
             r.get("pc_within_combined_ledgers", True)
             for r in report["treecode_cluster"]
+        ),
+        "variable_order_speedup_2x_at_50k": vo["variable_order_speedup"] >= 2.0,
+        "variable_order_memory_reduction": vo["variable_order_mem_ratio"] <= 1.0,
+        "variable_order_ledger_within_tol": (
+            vo["variable_order_ledger_headroom"] >= 0.0
         ),
     }
     report["acceptance"] = acceptance
@@ -349,11 +417,20 @@ def run_smoke_cluster(out_path: pathlib.Path | None = None) -> int:
         f"plan {row['plan_matvec_s']:.2f} s ({row['speedup']:.1f}x), "
         f"{row['plan_mb']:.0f} MB -> projected {projected_mb:.0f} MB at n=50k"
     )
+    vo = bench_variable_order(5000, repeats=1)
+    print(
+        f"variable-order smoke n=5000: uniform p={vo['degree_max']} "
+        f"{vo['fixed_matvec_s']:.2f} s, variable {vo['variable_matvec_s']:.2f} s "
+        f"({vo['variable_order_speedup']:.1f}x), memory ratio "
+        f"{vo['variable_order_mem_ratio']:.2f}, ledger headroom "
+        f"{vo['variable_order_ledger_headroom']:.2e}"
+    )
     if out_path is not None:
         report = {
             "bench": "BENCH_4",
             "mode": "smoke",
             "treecode_cluster": [row],
+            "variable_order": vo,
             "projected_mb_50k": projected_mb,
         }
         out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -378,6 +455,26 @@ def run_smoke_cluster(out_path: pathlib.Path | None = None) -> int:
     if not row["pc_within_combined_ledgers"]:
         print(
             "FAIL: cluster vs target-major gap exceeds the combined ledgers",
+            file=sys.stderr,
+        )
+        ok = False
+    if vo["variable_order_speedup"] < 2.0:
+        print(
+            f"FAIL: variable-order speedup {vo['variable_order_speedup']:.2f}x "
+            "< 2x over the uniform-degree plan",
+            file=sys.stderr,
+        )
+        ok = False
+    if vo["variable_order_mem_ratio"] > 1.0:
+        print(
+            f"FAIL: variable-order plan uses {vo['variable_order_mem_ratio']:.2f}x "
+            "the uniform plan's memory (expected <= 1.0)",
+            file=sys.stderr,
+        )
+        ok = False
+    if vo["variable_order_ledger_headroom"] < 0.0:
+        print(
+            "FAIL: variable-order ledger exceeds the target tolerance",
             file=sys.stderr,
         )
         ok = False

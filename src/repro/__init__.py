@@ -22,12 +22,14 @@ Quickstart
 from .core import (
     AdaptiveChargeDegree,
     DegreePolicy,
+    DegreeSelectionError,
     FixedDegree,
     LevelDegree,
     ToleranceDegree,
     Treecode,
     TreecodeResult,
     TreecodeStats,
+    VariableDegree,
 )
 from .direct import direct_gradient, direct_potential
 from .robust import (
@@ -53,6 +55,8 @@ __all__ = [
     "AdaptiveChargeDegree",
     "LevelDegree",
     "ToleranceDegree",
+    "VariableDegree",
+    "DegreeSelectionError",
     "LeapfrogIntegrator",
     "SimulationState",
     "direct_potential",

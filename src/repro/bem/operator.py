@@ -102,6 +102,16 @@ class SingleLayerOperator:
     plan_budget:
         Memory budget (bytes) for the plan's precomputed operators;
         ``None`` uses :data:`~repro.perf.plan.DEFAULT_MEMORY_BUDGET`.
+    tol:
+        Target far-field accuracy for the compiled plan (variable-order
+        mode, see :meth:`~repro.core.treecode.Treecode.compile_plan`).
+        Per-interaction degrees are selected so each collocation
+        vertex's Theorem-1 ledger stays at or below ``tol``.  The
+        selection is anchored at the quadrature weights (the structure
+        charges available "at the time of tree construction"), so the
+        guarantee applies to densities with ``|sigma| <= 4 pi`` and
+        scales linearly beyond.  Requires ``use_plan``; ignored until
+        the plan compiles at the second matvec.
     geometry:
         A shared :class:`OperatorGeometry` for the same mesh/``n_gauss``,
         reusing its quadrature, octree and interaction lists.
@@ -124,8 +134,13 @@ class SingleLayerOperator:
         leaf_size: int = 32,
         use_plan: bool = True,
         plan_budget: int | None = None,
+        tol: float | None = None,
         geometry: OperatorGeometry | None = None,
     ) -> None:
+        if tol is not None and not use_plan:
+            raise ValueError(
+                "tol (variable-order plans) requires use_plan=True"
+            )
         if geometry is not None:
             if geometry.mesh is not mesh or geometry.n_gauss != n_gauss:
                 raise ValueError(
@@ -163,6 +178,7 @@ class SingleLayerOperator:
                 self._lists = self.treecode.traverse(mesh.vertices, self_targets=False)
         self.use_plan = bool(use_plan)
         self.plan_budget = plan_budget
+        self.tol = None if tol is None else float(tol)
         self._plan = None
         self.stats = TreecodeStats()
         self.n_matvecs = 0
@@ -196,6 +212,7 @@ class SingleLayerOperator:
                     targets=self.mesh.vertices,
                     lists=self._lists,
                     memory_budget=self.plan_budget,
+                    tol=self.tol,
                 )
             if self._plan is not None:
                 res = self._plan.execute(q)

@@ -36,6 +36,12 @@ component):
   history-independent: supervised execution (heartbeats + watchdog,
   ``benchmarks/bench_supervisor.py``) may cost at most 5% over the
   unsupervised baseline on a clean run.
+* ``variable_order_speedup`` — absolute floor ``2.0``,
+  history-independent: the tol-compiled variable-order cluster plan
+  must stay >= 2x faster than the minimal uniform-degree plan with the
+  same Theorem-1 guarantee.
+* ``variable_order_mem_ratio`` — absolute ceiling ``1.0``: the
+  variable-order plan may not outgrow the uniform plan it replaces.
 * ``*_s`` (timings) and everything else — informational: reported in
   the table, never gating (wall times on shared CI are too noisy to
   fail on directly; ``speedup`` is the noise-immune ratio).
@@ -72,6 +78,11 @@ _RULES: dict[str, tuple[str, float]] = {
     "max_abs_diff": ("abs_max", 1e-11),
     "headroom": ("abs_min", 0.0),
     "supervision_overhead": ("abs_max", 0.05),
+    # variable-order vs minimal uniform-degree plan, same Theorem-1
+    # guarantee: the speedup floor and no-memory-growth ceiling are the
+    # acceptance criteria themselves, history-independent
+    "variable_order_speedup": ("abs_min", 2.0),
+    "variable_order_mem_ratio": ("abs_max", 1.0),
 }
 
 #: per-row fields worth tracking as series (present or not per bench)
@@ -87,6 +98,11 @@ _ROW_METRICS = (
     "supervision_overhead",
     "unsupervised_s",
     "supervised_s",
+    "variable_order_speedup",
+    "variable_order_mem_ratio",
+    "variable_order_ledger_headroom",
+    "fixed_matvec_s",
+    "variable_matvec_s",
 )
 
 
@@ -110,10 +126,11 @@ def extract_series(report: dict) -> dict:
     """Flatten one ``BENCH_*.json`` report into ``{series: value}``.
 
     Handles the BENCH_3 shape (``treecode`` rows + optional ``bem``
-    block), the BENCH_4 shape (``treecode_cluster`` rows) and the
-    BENCH_5 shape (``supervisor`` block); unknown report layouts yield
-    an empty dict rather than an error, so the ledger tolerates future
-    benches until series are defined for them.
+    block), the BENCH_4 shape (``treecode_cluster`` rows + optional
+    ``variable_order`` block) and the BENCH_5 shape (``supervisor``
+    block); unknown report layouts yield an empty dict rather than an
+    error, so the ledger tolerates future benches until series are
+    defined for them.
     """
     series: dict = {}
     for row in report.get("treecode") or []:
@@ -123,6 +140,9 @@ def extract_series(report: dict) -> dict:
         _row_series(f"bem/p{bem.get('panels')}", bem, series)
     for row in report.get("treecode_cluster") or []:
         _row_series(f"cluster/n{row.get('n')}", row, series)
+    vo = report.get("variable_order")
+    if vo:
+        _row_series(f"variable_order/n{vo.get('n')}", vo, series)
     sup = report.get("supervisor")
     if sup:
         _row_series(f"supervisor/n{sup.get('n')}", sup, series)

@@ -113,6 +113,21 @@ def _table1(args) -> str:
             f"{r.terms_new / r.terms_orig:.2f}, bound improvement = "
             f"{r.bound_orig / r.bound_new:.1f}x"
         )
+    tol = getattr(args, "tol", None)
+    if tol is not None:
+        from .experiments import run_variable_order_case
+
+        out.append(f"variable-order plans at tol={tol:g} (err <= ledger <= tol):")
+        cases = [("uniform", n) for n in structured] + unstructured
+        for dist, n in cases:
+            s = None if args.seed is None else args.seed + n
+            vo = run_variable_order_case(dist, n, tol, alpha=args.alpha, seed=s)
+            flag = "ok" if vo["contained"] else "VIOLATED"
+            out.append(
+                f"  {dist} n={n}: err {vo['max_err']:.3e} <= ledger "
+                f"{vo['max_ledger']:.3e} <= tol [{flag}], degrees "
+                f"{vo['p_min']}..{vo['p_max']}, terms {vo['terms']}"
+            )
     return "\n".join(out)
 
 
@@ -165,6 +180,7 @@ def _table3(args) -> str:
         gripper_res=res[1],
         seed=_seed0(args),
         checkpoint=_make_checkpoint(args, "table3"),
+        tol=getattr(args, "tol", None),
     )
     out = [
         format_table(
@@ -273,6 +289,11 @@ def _profile_summary(report: dict) -> str:
     health = _health_report(counters)
     if health:
         lines.append(health)
+    degree_section = _degree_histogram_report(
+        counters, report["metrics"].get("gauges", {})
+    )
+    if degree_section:
+        lines.append(degree_section)
     hist_lines = []
     for name, val in sorted(report["metrics"].get("histograms", {}).items()):
         if isinstance(val, dict) and "series" in val:
@@ -328,6 +349,29 @@ def _health_report(counters: dict) -> str:
     lines = ["supervision health:"]
     for label, val in rows:
         lines.append(f"  {label:<28} {val}")
+    return "\n".join(lines)
+
+
+def _degree_histogram_report(counters: dict, gauges: dict) -> str:
+    """Variable-order section of the profile summary: the per-degree far
+    interaction histogram (``plan_degree_bucket_pairs``) with a text
+    bar per bucket, plus the compile-time ledger prediction when a
+    tolerance-compiled plan ran.  Empty string when no plan recorded
+    degree buckets."""
+    hist = counters.get("plan_degree_bucket_pairs")
+    if not isinstance(hist, dict) or not hist.get("series"):
+        return ""
+    series = {int(k): v for k, v in hist["series"].items()}
+    total = sum(series.values())
+    peak = max(series.values())
+    lines = [f"degree buckets ({int(total)} far interactions):"]
+    for p in sorted(series):
+        cnt = series[p]
+        bar = "#" * max(1, int(round(24 * cnt / peak)))
+        lines.append(f"  p={p:<3} {int(cnt):>10}  {bar}")
+    pred = gauges.get("plan_predicted_ledger_max")
+    if pred is not None:
+        lines.append(f"  predicted ledger max: {pred:.3e}")
     return "\n".join(lines)
 
 
@@ -403,6 +447,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--p0", type=int, default=4, help="base multipole degree")
     parser.add_argument("--alpha", type=float, default=0.4, help="MAC parameter")
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="target far-field accuracy: compile variable-order plans whose "
+        "per-interaction degrees keep every target's Theorem-1 error "
+        "ledger <= TOL (table1 appends per-case containment checks; "
+        "table3 adds a target-tol operator row)",
+    )
     parser.add_argument(
         "--seed",
         type=int,
@@ -499,6 +553,17 @@ def main(argv=None) -> int:
         args.experiment == "profile" and args.target == "table2"
     ):
         parser.error("--backend applies to table2 (directly, via profile, or 'all')")
+
+    if args.tol is not None:
+        if args.tol <= 0:
+            parser.error(f"--tol must be > 0, got {args.tol}")
+        if args.experiment not in ("table1", "table3", "all") and not (
+            args.experiment == "profile" and args.target in ("table1", "table3")
+        ):
+            parser.error(
+                "--tol applies to table1 and table3 (directly, via profile, "
+                "or 'all')"
+            )
 
     if args.workers is not None:
         if args.workers < 1:

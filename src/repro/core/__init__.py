@@ -14,9 +14,12 @@ from .bounds import (
 from .degree import (
     AdaptiveChargeDegree,
     DegreePolicy,
+    DegreeSelectionError,
     FixedDegree,
     LevelDegree,
     ToleranceDegree,
+    VariableDegree,
+    select_pair_degrees,
 )
 from .treecode import InteractionLists, Treecode, TreecodeResult, TreecodeStats
 
@@ -30,6 +33,9 @@ __all__ = [
     "AdaptiveChargeDegree",
     "LevelDegree",
     "ToleranceDegree",
+    "VariableDegree",
+    "DegreeSelectionError",
+    "select_pair_degrees",
     "degree_for_tolerance",
     "theorem1_bound",
     "theorem2_interaction_bound",

@@ -129,7 +129,7 @@ def theorem3_degree(A, A0: float, p0: int, alpha: float, p_max: int = 40):
     return np.clip(p, p0, p_max).astype(np.int64)
 
 
-def degree_for_tolerance(A, a, r, tol: float, p_max: int = 60):
+def degree_for_tolerance(A, a, r, tol, p_max: int = 60):
     """Smallest degree whose Theorem-1 bound meets an error tolerance.
 
     The inverse problem of Theorem 1: given a cluster (``A``, ``a``) and
@@ -138,12 +138,14 @@ def degree_for_tolerance(A, a, r, tol: float, p_max: int = 60):
 
     ``p = ceil( ln(A / (tol (r-a))) / ln(r/a) ) - 1``
 
-    clamped to ``[0, p_max]``.  Vectorized; returns ``p_max`` where even
-    that degree cannot meet the tolerance (``r <= a``) and 0 where the
-    monopole already suffices.
+    clamped to ``[0, p_max]``.  Vectorized over every argument
+    including ``tol`` (per-interaction error budgets); returns ``p_max``
+    where even that degree cannot meet the tolerance (``r <= a``) and 0
+    where the monopole already suffices.
     """
-    if tol <= 0:
-        raise ValueError(f"tol must be > 0, got {tol}")
+    tol = np.asarray(tol, dtype=np.float64)
+    if np.any(tol <= 0):
+        raise ValueError(f"tol must be > 0, got {tol if tol.ndim == 0 else tol.min()}")
     A = np.asarray(A, dtype=np.float64)
     a = np.asarray(a, dtype=np.float64)
     r = np.asarray(r, dtype=np.float64)

@@ -19,7 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..tree.octree import Octree
-from .bounds import degree_for_tolerance, degree_increment_per_level, theorem3_degree
+from .bounds import (
+    degree_for_tolerance,
+    degree_increment_per_level,
+    theorem1_bound,
+    theorem3_degree,
+)
 
 __all__ = [
     "DegreePolicy",
@@ -27,7 +32,87 @@ __all__ = [
     "AdaptiveChargeDegree",
     "LevelDegree",
     "ToleranceDegree",
+    "VariableDegree",
+    "DegreeSelectionError",
+    "select_pair_degrees",
 ]
+
+
+class DegreeSelectionError(ValueError):
+    """A per-interaction error budget is infeasible at the degree cap.
+
+    Raised by :func:`select_pair_degrees` when some interaction's
+    Theorem-1 bound still exceeds its budget at ``p_max`` — variable-
+    order compilation refuses to silently clamp (which would break the
+    ``ledger <= tol`` contract).  Carries located diagnostics: the
+    offending pair indices, source node ids, geometry and the achieved
+    bound vs. the budget at the worst pair.
+    """
+
+    def __init__(
+        self, pair_idx, nodes, A, a, r, achieved, budgets, p_max: int
+    ) -> None:
+        self.pair_idx = np.asarray(pair_idx)
+        self.nodes = np.asarray(nodes)
+        self.p_max = int(p_max)
+        worst = int(np.argmax(np.asarray(achieved) / np.asarray(budgets)))
+        self.worst = {
+            "pair": int(self.pair_idx[worst]),
+            "node": int(self.nodes[worst]),
+            "A": float(np.asarray(A)[worst]),
+            "a": float(np.asarray(a)[worst]),
+            "r": float(np.asarray(r)[worst]),
+            "achieved_bound": float(np.asarray(achieved)[worst]),
+            "budget": float(np.asarray(budgets)[worst]),
+        }
+        w = self.worst
+        super().__init__(
+            f"{self.pair_idx.size} interaction(s) cannot meet their error "
+            f"budget at p_max={p_max}; worst: pair {w['pair']} "
+            f"(source node {w['node']}, A={w['A']:.3e}, a={w['a']:.3e}, "
+            f"r={w['r']:.3e}) achieves bound {w['achieved_bound']:.3e} "
+            f"> budget {w['budget']:.3e}. Loosen tol or raise p_max."
+        )
+
+
+def select_pair_degrees(A, a, r, budgets, p_max: int = 30, nodes=None):
+    """Minimal per-interaction degrees meeting per-interaction budgets.
+
+    For each interaction (cluster absolute charge ``A``, effective
+    radius ``a`` — the source radius, or ``a_src + a_tgt`` under the
+    dual MAC — and center distance ``r``) return the smallest ``p`` with
+    ``theorem1_bound(A, a, r, p) <= budget``.  All arguments broadcast.
+
+    Raises :class:`DegreeSelectionError` where even ``p_max`` cannot
+    meet the budget (infeasible tolerance), rather than clamping;
+    ``nodes`` (source node ids) sharpens the diagnostics.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    budgets = np.asarray(budgets, dtype=np.float64)
+    p = degree_for_tolerance(A, a, r, budgets, p_max=p_max)
+    b = theorem1_bound(A, a, r, p)
+    # the closed form can undershoot by one degree at float precision;
+    # bump and re-check before declaring a budget infeasible
+    short = (b > budgets) & (p < p_max)
+    if np.any(short):
+        p = np.where(short, p + 1, p)
+        b = theorem1_bound(A, a, r, p)
+    # zero-charge clusters contribute no error at any degree
+    p = np.where(A <= 0.0, 0, p)
+    bad = (b > budgets * (1.0 + 1e-12)) & (A > 0.0)
+    if np.any(bad):
+        idx = np.nonzero(bad)[0]
+        nid = np.asarray(nodes)[idx] if nodes is not None else idx
+        raise DegreeSelectionError(
+            idx, nid,
+            np.broadcast_to(A, bad.shape)[idx],
+            np.broadcast_to(a, bad.shape)[idx],
+            np.broadcast_to(r, bad.shape)[idx],
+            b[idx], np.broadcast_to(budgets, bad.shape)[idx], p_max,
+        )
+    return p.astype(np.int64)
 
 
 class DegreePolicy:
@@ -216,3 +301,49 @@ class ToleranceDegree(DegreePolicy):
         r = np.maximum(a / self.alpha, 1e-300)
         p = degree_for_tolerance(tree.abs_charge, a, r, self.tol, p_max=self.p_max)
         return np.clip(p, self.p_min, self.p_max)
+
+
+@dataclass(frozen=True)
+class VariableDegree(DegreePolicy):
+    """Target-accuracy policy behind ``compile_plan(tol=...)``.
+
+    As a plain node policy it behaves like :class:`ToleranceDegree`
+    with ``p_min=0`` (smallest degree whose Theorem-1 bound at the
+    worst accepted distance meets ``tol``).  Its real role is carrying
+    the target accuracy into plan compilation: when a treecode built
+    with this policy is compiled (``Treecode.compile_plan``), ``tol``
+    defaults from the policy and the compiler re-selects the degree
+    **per interaction** — each far pair gets the minimal degree whose
+    Theorem-1 (particle-cluster) or dual-MAC (cluster-cluster) bound
+    keeps the aggregate per-target ledger at or under ``tol`` — then
+    buckets interactions by degree so every kernel stays a GEMM.
+
+    Parameters
+    ----------
+    tol:
+        Aggregate per-target error budget (absolute potential error).
+    alpha:
+        MAC parameter the treecode will run with.
+    p_max:
+        Degree cap; an infeasible budget at ``p_max`` raises
+        :class:`DegreeSelectionError` instead of clamping.
+    """
+
+    tol: float = 1e-6
+    alpha: float = 0.5
+    p_max: int = 60
+
+    def __post_init__(self) -> None:
+        if self.tol <= 0:
+            raise ValueError(f"tol must be > 0, got {self.tol}")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.p_max < 0:
+            raise ValueError(f"p_max must be >= 0, got {self.p_max}")
+
+    def degrees(self, tree: Octree) -> np.ndarray:
+        a = tree.radius
+        r = np.maximum(a / self.alpha, 1e-300)
+        return degree_for_tolerance(
+            tree.abs_charge, a, r, self.tol, p_max=self.p_max
+        )

@@ -659,6 +659,7 @@ class Treecode:
         mode: str = "target",
         rows_dtype=np.float64,
         n_units: int | None = None,
+        tol: float | None = None,
     ):
         """Freeze this treecode's geometry into a compiled plan for
         repeated matvecs.
@@ -680,9 +681,23 @@ class Treecode:
         cost of ~1e-7 relative rounding — well inside the Theorem-1
         truncation ledger.  ``n_units`` controls the number of far work
         units a cluster plan is split into (parallelism granularity).
+
+        ``tol`` switches the compiler to **variable-order** mode: each
+        far interaction gets the minimal degree whose Theorem-1 (or
+        dual-MAC) bound keeps every target's aggregate error ledger at
+        or below ``tol``, and interactions are bucketed by degree so
+        every kernel stays a GEMM.  When this treecode was built with a
+        :class:`~repro.core.degree.VariableDegree` policy, ``tol``
+        defaults to the policy's tolerance.  The budget is anchored at
+        the charges held when the plan is compiled (``set_charges``
+        before compiling to re-anchor); the a-posteriori ledger the plan
+        reports always bounds the true error regardless.
         """
         from ..perf.plan import DEFAULT_MEMORY_BUDGET, compile_plan
+        from .degree import VariableDegree
 
+        if tol is None and isinstance(self.degree_policy, VariableDegree):
+            tol = self.degree_policy.tol
         self_targets = targets is None
         tgt = (
             self.tree.points if self_targets else np.asarray(targets, dtype=np.float64)
@@ -708,6 +723,7 @@ class Treecode:
             mode=mode,
             rows_dtype=rows_dtype,
             n_units=n_units,
+            tol=tol,
         )
 
     # convenience ------------------------------------------------------

@@ -13,12 +13,13 @@ from .ablations import (
     run_ordering_study,
 )
 from .fig2 import Fig2Data, run_fig2
-from .table1 import Table1Row, run_case, run_table1
+from .table1 import Table1Row, run_case, run_table1, run_variable_order_case
 from .table2 import Table2Row, run_table2
 from .table3 import Table3Row, run_table3, run_table3_geometry
 
 __all__ = [
     "run_table1",
+    "run_variable_order_case",
     "run_case",
     "Table1Row",
     "run_fig2",

@@ -24,7 +24,13 @@ from ..core.treecode import Treecode
 from ..data.distributions import make_distribution, unit_charges
 from ..direct import direct_potential
 
-__all__ = ["Table1Row", "run_table1", "DEFAULT_STRUCTURED_N", "DEFAULT_UNSTRUCTURED"]
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "run_variable_order_case",
+    "DEFAULT_STRUCTURED_N",
+    "DEFAULT_UNSTRUCTURED",
+]
 
 DEFAULT_STRUCTURED_N = [2000, 4000, 8000, 16000]
 DEFAULT_UNSTRUCTURED = [("gaussian", 8000), ("overlapping_gaussians", 12000)]
@@ -101,6 +107,49 @@ def run_case(
         terms_new=out["new"][2],
         degrees_new=out["new"][3],
     )
+
+
+def run_variable_order_case(
+    distribution: str,
+    n: int,
+    tol: float,
+    alpha: float = 0.4,
+    seed: int | None = None,
+    mode: str = "target",
+) -> dict:
+    """Target-accuracy variable-order plan on one Table-1 instance.
+
+    Compiles a plan with per-interaction degree selection for ``tol``
+    (see :meth:`~repro.core.treecode.Treecode.compile_plan`) and checks
+    the containment chain the compiler guarantees: measured max error
+    <= a-posteriori Theorem-1 ledger <= ``tol``.  Returns a summary dict
+    (max error, ledger maxima, selected degree range, terms evaluated).
+    Target-major mode is the default — it matches Table 1's
+    particle-cluster MAC semantics; pass ``mode="cluster"`` to exercise
+    the dual-MAC plan on the same instance.
+    """
+    seed = n if seed is None else seed
+    pts = make_distribution(distribution, n, seed=seed)
+    q = unit_charges(n, seed=seed + 1, signed=True)
+    ref = direct_potential(pts, q)
+    tc = Treecode(pts, q, degree_policy=FixedDegree(4), alpha=alpha)
+    plan = tc.compile_plan(mode=mode, tol=tol, accumulate_bounds=True)
+    res = plan.execute(q)
+    max_err = float(np.abs(res.potential - ref).max())
+    max_ledger = float(res.error_bound.max())
+    return {
+        "distribution": distribution,
+        "n": n,
+        "tol": float(tol),
+        "mode": mode,
+        "max_err": max_err,
+        "max_ledger": max_ledger,
+        "predicted_ledger": float(plan.predicted_ledger_max),
+        "p_min": int(plan.pair_degrees.min()) if plan.pair_degrees.size else 0,
+        "p_max": int(plan.pair_degrees.max()) if plan.pair_degrees.size else 0,
+        "terms": int(res.stats.n_terms),
+        "contained": bool(max_err <= max_ledger <= tol),
+    }
 
 
 def run_table1(

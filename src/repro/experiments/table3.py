@@ -56,8 +56,15 @@ def run_table3_geometry(
     degrees: list[int] | None = None,
     seed: int = 0,
     geometry: OperatorGeometry | None = None,
+    tol: float | None = None,
 ) -> list[Table3Row]:
-    """One geometry block of Table 3."""
+    """One geometry block of Table 3.
+
+    With ``tol`` set, a final row runs the target-accuracy operator
+    (variable-order compiled plan, see
+    :class:`~repro.bem.operator.SingleLayerOperator`): the matvec is
+    timed on the second application, after the plan has compiled.
+    """
     degrees = list(range(p0, p0 + 4)) if degrees is None else degrees
     rng = np.random.default_rng(seed)
     x = rng.uniform(0.5, 1.5, mesh.n_vertices)
@@ -117,6 +124,32 @@ def run_table3_geometry(
             time=dt,
         )
     )
+    if tol is not None:
+        op = SingleLayerOperator(
+            mesh,
+            n_gauss=n_gauss,
+            degree_policy=FixedDegree(p0),
+            alpha=alpha,
+            tol=tol,
+            geometry=geometry,
+        )
+        op.matvec(x)  # first application: seed path, no plan yet
+        op.matvec(x)  # second application compiles the variable-order plan
+        terms_before = int(op.stats.n_terms)
+        with stopwatch(
+            "table3.matvec", geometry=name, degree=f"tol={tol:g}"
+        ) as sw:
+            v = op.matvec(x)
+        rows.append(
+            Table3Row(
+                geometry=name,
+                algorithm="target-tol",
+                degree=f"tol={tol:g}",
+                error=relative_l2_error(v, v_ref),
+                terms=int(op.stats.n_terms) - terms_before,
+                time=sw.elapsed,
+            )
+        )
     return rows
 
 
@@ -128,6 +161,7 @@ def run_table3(
     gripper_res: int = 5,
     seed: int = 0,
     checkpoint: Checkpoint | None = None,
+    tol: float | None = None,
 ) -> tuple[list[Table3Row], dict]:
     """Both geometry blocks plus a GMRES(10) convergence demonstration.
 
@@ -157,6 +191,7 @@ def run_table3(
                 n_gauss=n_gauss,
                 seed=seed,
                 geometry=geometry,
+                tol=tol,
             )
             sol = solve_dirichlet(
                 mesh,
@@ -183,7 +218,8 @@ def run_table3(
                 },
             }
 
-        payload = cached_step(checkpoint, f"geometry:{name}", compute)
+        step = f"geometry:{name}" if tol is None else f"geometry:{name}:tol={tol:g}"
+        payload = cached_step(checkpoint, step, compute)
         rows += [Table3Row(**d) for d in payload["rows"]]
         gmres_info[name] = payload["gmres"]
     return rows, gmres_info

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.bounds import degree_for_tolerance, degree_increment_per_level
 from ..multipole.expansion import l2p, m_weights, p2m_terms
 from ..multipole.harmonics import (
     cart_to_sph,
@@ -78,6 +79,14 @@ class UniformFMM:
     degrees:
         Per-level degree list (root..leaf), e.g. from
         :func:`level_degrees`; an int means fixed degree.
+    tol:
+        Target far-field accuracy.  When set, the degree schedule is
+        derived from the actual charges via :meth:`tolerance_degrees`
+        (overriding ``degrees``): the leaf degree solves the Theorem-1
+        inverse at the worst V-list geometry and coarser levels grow by
+        :func:`~repro.core.bounds.degree_increment_per_level`.
+    tol_p_max:
+        Degree cap of the ``tol``-derived schedule.
     use_plan:
         Freeze the geometry into a plan (P2M rows, probed M2L operator
         matrices per offset group, L2P rows, near pair lists) at the
@@ -93,6 +102,8 @@ class UniformFMM:
         charges: np.ndarray,
         level: int | None = None,
         degrees: int | list[int] = 6,
+        tol: float | None = None,
+        tol_p_max: int = 30,
         use_plan: bool = True,
     ) -> None:
         self.use_plan = bool(use_plan)
@@ -140,6 +151,9 @@ class UniformFMM:
         n_cells = 8**self.L
         self.cell_start = np.searchsorted(cell, np.arange(n_cells), side="left")
         self.cell_end = np.searchsorted(cell, np.arange(n_cells), side="right")
+        self.tol = None if tol is None else float(tol)
+        if self.tol is not None:
+            self.degrees = self.tolerance_degrees(self.tol, p_max=tol_p_max)
         self.stats = FMMStats()
         # frozen-geometry plan (P2M rows, M2L operator matrices, L2P
         # rows, near pair lists) — built lazily at the second evaluate()
@@ -207,6 +221,48 @@ class UniformFMM:
             inc = int(np.ceil(max(0.0, np.log(med[l] / a_leaf) / np.log(1.0 / alpha))))
             degs.append(min(p_max, p0 + inc))
         return degs
+
+    def tolerance_degrees(self, tol: float, p_max: int = 30) -> list[int]:
+        """Target-accuracy degree schedule (root..leaf) for ``tol``.
+
+        The leaf degree solves the Theorem-1 inverse
+        (:func:`~repro.core.bounds.degree_for_tolerance`) at the worst
+        V-list geometry of the uniform grid — source sphere
+        ``a = (sqrt(3)/2) h`` (``h`` the leaf cell edge) against the
+        nearest well-separated center ``r = 2h``, ratio ``a/r ~ 0.433``
+        — for the largest occupied leaf charge, with the per-interaction
+        budget ``tol`` split over the at most 189 V-list sources on each
+        of the ``L - 1`` active levels.  Coarser levels add
+        ``ceil(c * (L - l))`` with
+        ``c = degree_increment_per_level(a/r)``: one level up multiplies
+        the worst cell charge by at most 8 while ``a/r`` is
+        scale-invariant on the uniform grid, which is exactly the
+        Theorem-3/Theorem-5 schedule.  Degrees are clamped to ``p_max``
+        (the M2L operator cost grows as ``p^4``; the schedule is a
+        guide, the a-posteriori check is comparison against direct
+        summation).
+        """
+        tol = float(tol)
+        if tol <= 0:
+            raise ValueError(f"tol must be > 0, got {tol}")
+        L = self.L
+        h = self.edge / (1 << L)
+        a = np.sqrt(3.0) / 2.0 * h
+        r = 2.0 * h
+        cell_abs = np.bincount(
+            self.cell_of, weights=np.abs(self.charges), minlength=8**L
+        )
+        A_leaf = float(cell_abs.max())
+        if A_leaf <= 0.0:
+            return [0] * (L + 1)
+        n_active = max(L - 1, 1)
+        eps0 = tol / (n_active * 189.0)
+        p_leaf = int(degree_for_tolerance(A_leaf, a, r, eps0, p_max=p_max))
+        c = degree_increment_per_level(a / r)
+        return [
+            min(p_max, p_leaf + int(np.ceil(c * (L - l))))
+            for l in range(L + 1)
+        ]
 
     # ------------------------------------------------------------------
     def _ensure_plan(self) -> dict:

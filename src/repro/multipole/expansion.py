@@ -24,8 +24,6 @@ expansion at many targets is a single dense matrix-vector product.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from .harmonics import (
@@ -45,12 +43,23 @@ __all__ = [
     "p2l",
     "l2p",
     "m_weights",
+    "m_weights_cache_stats",
     "truncate",
     "extend",
 ]
 
 
-@lru_cache(maxsize=None)
+#: Cap on distinct degrees held by the :func:`m_weights` cache.
+#: Variable-order plans touch dozens of degrees per compile; fixed-size
+#: FIFO eviction keeps the cache bounded without an LRU bookkeeping
+#: cost on the hit path.
+_M_WEIGHTS_CACHE_MAX = 64
+
+_m_weights_cache: dict[int, np.ndarray] = {}
+_m_weights_hits = 0
+_m_weights_misses = 0
+
+
 def m_weights(p: int) -> np.ndarray:
     """Real-part weights per packed index: 1 for ``m = 0``, 2 for ``m > 0``.
 
@@ -59,12 +68,62 @@ def m_weights(p: int) -> np.ndarray:
 
     Cached per degree (and returned read-only): the evaluator calls this
     once per far-field chunk, and rebuilding the index grids dominated
-    the cost for small chunks.
+    the cost for small chunks.  The cache is bounded
+    (:data:`_M_WEIGHTS_CACHE_MAX` degrees, FIFO eviction) so
+    variable-order plans sweeping many degrees cannot grow it without
+    limit; hit/miss totals surface in the metrics registry when tracing
+    is enabled (``m_weights_cache_hits`` / ``m_weights_cache_misses``).
     """
+    global _m_weights_hits, _m_weights_misses
+    p = int(p)
+    w = _m_weights_cache.get(p)
+    if w is not None:
+        _m_weights_hits += 1
+        return w
+    _m_weights_misses += 1
     _, ms = degree_of_index(p)
     w = np.where(ms == 0, 1.0, 2.0)
     w.setflags(write=False)
+    if len(_m_weights_cache) >= _M_WEIGHTS_CACHE_MAX:
+        _m_weights_cache.pop(next(iter(_m_weights_cache)))
+    _m_weights_cache[p] = w
+    _record_m_weights_metrics()
     return w
+
+
+def _record_m_weights_metrics() -> None:
+    """Publish cache totals to the metrics registry (tracing only).
+
+    Deferred import: :mod:`repro.obs` pulls in tracing machinery this
+    leaf module must not depend on at import time.  Counters are synced
+    on misses only — the hit path stays a dict lookup.
+    """
+    from ..obs.tracing import is_enabled
+
+    if not is_enabled():
+        return
+    from ..obs.metrics import REGISTRY
+
+    h = REGISTRY.counter(
+        "m_weights_cache_hits", "m_weights degree-cache hits"
+    )
+    if _m_weights_hits > h.value:
+        h.inc(_m_weights_hits - h.value)
+    m = REGISTRY.counter(
+        "m_weights_cache_misses", "m_weights degree-cache misses"
+    )
+    if _m_weights_misses > m.value:
+        m.inc(_m_weights_misses - m.value)
+
+
+def m_weights_cache_stats() -> dict:
+    """Current :func:`m_weights` cache totals (for tests and profiles)."""
+    return {
+        "hits": _m_weights_hits,
+        "misses": _m_weights_misses,
+        "size": len(_m_weights_cache),
+        "max_size": _M_WEIGHTS_CACHE_MAX,
+    }
 
 
 def p2m(rel_pos: np.ndarray, q: np.ndarray, p: int) -> np.ndarray:

@@ -96,13 +96,25 @@ class BlockProfile:
         return len(self.blocks)
 
 
-def profile_blocks(tc: Treecode, blocks: list[np.ndarray]) -> BlockProfile:
+def profile_blocks(
+    tc: Treecode,
+    blocks: list[np.ndarray],
+    pair_degrees: np.ndarray | None = None,
+) -> BlockProfile:
     """Measure each block's far-field terms, near-field pairs and the
     distinct-cluster fetch volume, from one traversal of the tree.
 
     Targets are the treecode's own source particles (the self-evaluation
     the paper times); block indices refer to the *original* particle
     ordering.
+
+    ``pair_degrees`` (optional) supplies a per-interaction degree aligned
+    with the traversal's far-pair emission order, as selected by a
+    variable-order plan.  When given, both the compute terms and the
+    fetch volume (term count of each distinct cluster at the *largest*
+    degree any of the block's pairs requested of it) follow the actual
+    bucketed degrees instead of the policy's per-node ``p_eval`` — so
+    balanced work units reflect the true Σ terms cost.
     """
     tree = tc.tree
     n = tree.n_particles
@@ -117,8 +129,17 @@ def profile_blocks(tc: Treecode, blocks: list[np.ndarray]) -> BlockProfile:
         block_of[to_sorted[idx]] = b
     nb = len(blocks)
 
+    if pair_degrees is None:
+        pdeg = tc.p_eval[lists.far_nodes]
+    else:
+        pdeg = np.asarray(pair_degrees, dtype=np.int64)
+        if pdeg.shape != lists.far_nodes.shape:
+            raise ValueError(
+                f"pair_degrees has shape {pdeg.shape}, expected one degree "
+                f"per far pair {lists.far_nodes.shape}"
+            )
     pair_terms = np.array(
-        [term_count(int(p)) for p in tc.p_eval[lists.far_nodes]], dtype=np.int64
+        [term_count(int(p)) for p in pdeg], dtype=np.int64
     )
     pair_blocks = block_of[lists.far_targets]
     compute_terms = np.bincount(pair_blocks, weights=pair_terms, minlength=nb)
@@ -132,13 +153,16 @@ def profile_blocks(tc: Treecode, blocks: list[np.ndarray]) -> BlockProfile:
         own = tids[(tids >= s) & (tids < e)]
         np.add.at(compute_pairs, block_of[own], -1)
 
-    # Fetch volume: distinct (block, node) pairs weighted by term count.
+    # Fetch volume: distinct (block, node) pairs weighted by term count
+    # (at the largest degree the block's pairs request of the node).
     if lists.far_nodes.size:
         key = pair_blocks * np.int64(tree.n_nodes) + lists.far_nodes
-        uniq = np.unique(key)
+        uniq, inv = np.unique(key, return_inverse=True)
         ub = (uniq // tree.n_nodes).astype(np.int64)
         un = (uniq % tree.n_nodes).astype(np.int64)
-        uterms = np.array([term_count(int(p)) for p in tc.p_eval[un]], dtype=np.int64)
+        dmax = np.zeros(uniq.size, dtype=np.int64)
+        np.maximum.at(dmax, inv, pdeg)
+        uterms = np.array([term_count(int(p)) for p in dmax], dtype=np.int64)
         fetch_terms = np.bincount(ub, weights=uterms, minlength=nb)
     else:
         ub = np.empty(0, dtype=np.int64)

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.bounds import theorem1_bound
+from ..core.degree import select_pair_degrees
 from ..core.treecode import (
     _NEAR_BUDGET,
     Treecode,
@@ -77,7 +78,9 @@ from ..tree.dualtree import dual_traverse
 from .plan import (
     DEFAULT_MEMORY_BUDGET,
     CompiledPlan,
-    _build_p2m_group,
+    _build_p2m_storage,
+    _gather_abs,
+    _gather_coeffs,
     _near_kernel,
     _sph_to_cart,
 )
@@ -93,6 +96,37 @@ _M2L_CHUNK = 32768
 #: more units mean more duplicated M2L work; 8 keeps the duplication a
 #: few percent while giving the executors enough units to schedule.
 _DEFAULT_UNITS = 8
+
+#: Hard degree ceiling of the batched M2L kernel: ``sqrt((4p)!)``
+#: itself overflows float64 once ``4p > 170``.  Variable-order degree
+#: selection is capped here (and raises, never clamps, when a budget
+#: would need more).
+_M2L_MAX_P = 42
+
+#: log2 headroom kept below the float32 overflow threshold (2^128) when
+#: deciding whether a group's scaled singular grid fits the complex64
+#: M2L path; the margin absorbs the multipole-coefficient magnitude the
+#: grid is multiplied with during accumulation.
+_M2L_C64_MARGIN_BITS = 110.0
+
+
+def _m2l_c64_safe(p: int, rho_min: float) -> bool:
+    """Whether the ``complex64`` M2L path can represent degree ``p`` at
+    minimum pair center distance ``rho_min``.
+
+    The largest scaled singular-grid entry is ``sqrt((2n)!) /
+    rho^(n+1)`` at order ``n <= 2p``; this checks its log2 against the
+    float32 exponent range minus :data:`_M2L_C64_MARGIN_BITS` headroom.
+    """
+    if rho_min <= 0.0:
+        return False
+    lg_rho = np.log2(rho_min)
+    lf = 0.0  # log2((2n)!) accumulated incrementally
+    worst = -np.inf
+    for n in range(1, 2 * p + 1):
+        lf += np.log2(2 * n - 1) + np.log2(2 * n)
+        worst = max(worst, 0.5 * lf - (n + 1) * lg_rho)
+    return worst < _M2L_C64_MARGIN_BITS
 
 
 def _pack_idx(p: int) -> tuple[np.ndarray, np.ndarray]:
@@ -182,13 +216,15 @@ class _FarGroup:
     target box (``add.reduceat`` segments)."""
 
     p: int
-    rows: np.ndarray  #: coefficient row per pair (into ctx[p])
+    rows: np.ndarray  #: coefficient row per pair within its storage group
+    sP: np.ndarray  #: storage degree per pair (``ctx`` key; >= ``p``)
     d: np.ndarray  #: (B, 3) source center - target center
     seg: np.ndarray  #: reduceat segment starts
     utgt: np.ndarray  #: target box id per segment
     bgeom: np.ndarray | None  #: dual Theorem-1 factor at unit |q|
     levels: np.ndarray | None  #: source box level per pair
     cnt_t: np.ndarray | None  #: unit targets under the target box
+    c64_ok: bool = True  #: complex64 M2L safe at this degree/distance
 
 
 @dataclass
@@ -259,6 +295,7 @@ class ClusterPlan(CompiledPlan):
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         rows_dtype=np.float64,
         n_units: int | None = None,
+        tol: float | None = None,
     ) -> None:
         if not self_targets:
             raise ValueError(
@@ -277,6 +314,7 @@ class ClusterPlan(CompiledPlan):
             accumulate_bounds=accumulate_bounds,
             memory_budget=memory_budget,
             rows_dtype=rows_dtype,
+            tol=tol,
         )
 
     # -- compilation ---------------------------------------------------
@@ -288,14 +326,30 @@ class ClusterPlan(CompiledPlan):
         budget_used = 0
         stats = TreecodeStats(n_targets=int(tgt.shape[0]))
         # complex64 M2L accumulation: ~1e-7 relative rounding, accounted
-        # against a truncation ledger orders of magnitude larger
-        self._m2l_dtype = np.complex64
+        # against a truncation ledger orders of magnitude larger.  That
+        # accounting only holds for fixed-degree plans: a tol-compiled
+        # plan promises error <= ledger <= tol, and the rounding noise
+        # (relative to the potential's magnitude, not the ledger's)
+        # breaks the chain once tol approaches 1e-6 — so variable-order
+        # plans always translate in complex128.  Groups whose scaled
+        # singular grid would overflow float32 also fall back per group
+        # (see _m2l_c64_safe).
+        self._m2l_dtype = np.complex128 if self.tol is not None else np.complex64
+        self._tol_p_max = min(self._tol_p_max, _M2L_MAX_P)
 
         pairs = dual_traverse(tree, tc.alpha)
         fs, ft = pairs.far_src, pairs.far_tgt
-        p_pair = tc.p_eval[fs] if fs.size else np.empty(0, dtype=np.int64)
+        r_pair = pairs.far_r
+        if not fs.size:
+            p_pair = np.empty(0, dtype=np.int64)
+        elif self.tol is None:
+            p_pair = tc.p_eval[fs]
+        else:
+            p_pair = self._select_pair_degrees(tree, fs, ft, r_pair)
         self.n_box_pairs = pairs.n_far
         self.n_near_pairs = pairs.n_near
+        #: per-box-pair degree in dual-traversal emission order
+        self.pair_degrees = np.asarray(p_pair, dtype=np.int64)
 
         # ---- frozen stats from the global pair decomposition ----------
         # (per-unit duplication of straddling pairs must not inflate
@@ -310,16 +364,17 @@ class ClusterPlan(CompiledPlan):
                 if c:
                     stats.interactions_by_level[int(L)] = int(c)
 
-        # ---- P2M groups per source degree -----------------------------
+        # ---- P2M storage: one operator per source node at its max
+        # pair degree; lower-degree pairs slice leading coefficients ----
         self._p2m_groups = []
         self._rowmap: dict[int, np.ndarray] = {}
+        self._Psrc = np.full(tree.n_nodes, -1, dtype=np.int64)
+        self._srow = np.full(tree.n_nodes, -1, dtype=np.int64)
         if fs.size:
-            for p in np.unique(p_pair):
-                un = np.unique(fs[p_pair == p])
-                group, gbytes = _build_p2m_group(tree, int(p), un)
-                self._p2m_groups.append(group)
-                self._rowmap[int(p)] = un
-                mem += gbytes
+            self._Psrc, self._srow, self._p2m_groups, self._rowmap, p2m_mem = (
+                _build_p2m_storage(tree, fs, p_pair)
+            )
+            mem += p2m_mem
 
         # ---- local degree per box: max over incoming pairs, pushed
         # down so every descendant can absorb inherited locals ---------
@@ -327,9 +382,12 @@ class ClusterPlan(CompiledPlan):
         if fs.size:
             np.maximum.at(Ploc, ft, p_pair)
             for dlev in range(1, tree.height):
+                # basic slices: ``out=`` on a fancy-indexed view would
+                # write into a temporary and drop the push-down
                 lo, hi = tree.level_ranges[dlev]
-                ids = np.arange(lo, hi)
-                np.maximum(Ploc[ids], Ploc[tree.parent[ids]], out=Ploc[ids])
+                np.maximum(
+                    Ploc[lo:hi], Ploc[tree.parent[lo:hi]], out=Ploc[lo:hi]
+                )
         self._Pmax = int(Ploc.max()) if fs.size else 0
 
         # ---- partition Morton-sorted targets into far work units ------
@@ -361,6 +419,7 @@ class ClusterPlan(CompiledPlan):
                     fs,
                     ft,
                     p_pair,
+                    r_pair,
                     bs_all,
                     be_all,
                     Ploc,
@@ -397,9 +456,53 @@ class ClusterPlan(CompiledPlan):
         )
         self.n_near_spilled = len(self._near_blocks) - self.n_near_precomputed
 
+    def _select_pair_degrees(self, tree, fs, ft, r_pair) -> np.ndarray:
+        """Variable order: per-pair degrees from the dual-MAC bound.
+
+        Each particle's far-field ledger sums the bounds of the pairs on
+        its leaf's ancestor path, so the budget of a pair divides ``tol``
+        by the *most loaded leaf* beneath its target box: the pair-count
+        along any root-to-leaf path (``cnt_down``), maximized over the
+        box's descendant leaves (``maxcnt``).  Every leaf then satisfies
+        ``sum of bounds <= cnt_down * (tol / maxcnt) <= tol``.
+        """
+        incoming = np.bincount(ft, minlength=tree.n_nodes).astype(np.float64)
+        cnt_down = incoming
+        for dlev in range(1, tree.height):
+            lo, hi = tree.level_ranges[dlev]
+            ids = np.arange(lo, hi)
+            cnt_down[ids] += cnt_down[tree.parent[ids]]
+        maxcnt = cnt_down.copy()
+        for dlev in range(tree.height - 1, 0, -1):
+            lo, hi = tree.level_ranges[dlev]
+            ids = np.arange(lo, hi)
+            np.maximum.at(maxcnt, tree.parent[ids], maxcnt[ids])
+        A = tree.abs_charge[fs]
+        asum = tree.radius[fs] + tree.radius[ft]
+        p_pair = select_pair_degrees(
+            A,
+            asum,
+            r_pair,
+            self.tol / maxcnt[ft],
+            p_max=self._tol_p_max,
+            nodes=fs,
+        )
+        # predicted ledger: per-box bound sums pushed down to the leaves
+        bsum = np.zeros(tree.n_nodes)
+        np.add.at(bsum, ft, theorem1_bound(A, asum, r_pair, p_pair))
+        for dlev in range(1, tree.height):
+            lo, hi = tree.level_ranges[dlev]
+            ids = np.arange(lo, hi)
+            bsum[ids] += bsum[tree.parent[ids]]
+        leaves = tree.leaf_ids()
+        occupied = tree.end[leaves] > tree.start[leaves]
+        if np.any(occupied):
+            self.predicted_ledger_max = float(bsum[leaves[occupied]].max())
+        return p_pair
+
     def _compile_far_unit(
-        self, uleaves, fs, ft, p_pair, bs_all, be_all, Ploc, grad_wanted,
-        want_bounds,
+        self, uleaves, fs, ft, p_pair, r_pair, bs_all, be_all, Ploc,
+        grad_wanted, want_bounds,
     ) -> int:
         """Build one far work unit over the contiguous leaf run
         ``uleaves``; returns materialized bytes."""
@@ -416,6 +519,7 @@ class ClusterPlan(CompiledPlan):
         ordu = np.lexsort((tgt_u, ps_u))
         ps_u, src_u, tgt_u = ps_u[ordu], src_u[ordu], tgt_u[ordu]
         bs_u, be_u = bs_all[sel][ordu], be_all[sel][ordu]
+        r_u = r_pair[sel][ordu]
         unit = _FarUnit(tlo=tlo, thi=thi, n_pairs=int(sel.size))
 
         uniqp, pstarts = np.unique(ps_u, return_index=True)
@@ -423,12 +527,12 @@ class ClusterPlan(CompiledPlan):
         for p, lo, hi in zip(uniqp, bnds[:-1], bnds[1:]):
             p = int(p)
             srcs, tgts = src_u[lo:hi], tgt_u[lo:hi]
-            rows = np.searchsorted(self._rowmap[p], srcs)
+            rows = self._srow[srcs]
             d = tree.center_exp[srcs] - tree.center_exp[tgts]
             utgt, seg = np.unique(tgts, return_index=True)
             bgeom = levels = cnt_t = None
             if want_bounds:
-                r = np.sqrt(np.einsum("ij,ij->i", d, d))
+                r = r_u[lo:hi]
                 asum = tree.radius[srcs] + tree.radius[tgts]
                 bgeom = theorem1_bound(1.0, asum, r, p)
                 levels = tree.level[srcs]
@@ -436,11 +540,13 @@ class ClusterPlan(CompiledPlan):
                     bs_u[lo:hi], tlo
                 )
             g = _FarGroup(
-                p=p, rows=rows, d=d, seg=seg, utgt=utgt,
-                bgeom=bgeom, levels=levels, cnt_t=cnt_t,
+                p=p, rows=rows, sP=self._Psrc[srcs], d=d, seg=seg,
+                utgt=utgt, bgeom=bgeom, levels=levels, cnt_t=cnt_t,
+                c64_ok=_m2l_c64_safe(p, float(r_u[lo:hi].min())),
             )
             unit.groups.append(g)
-            mem += rows.nbytes + d.nbytes + seg.nbytes + utgt.nbytes
+            mem += rows.nbytes + g.sP.nbytes + d.nbytes + seg.nbytes
+            mem += utgt.nbytes
             if want_bounds:
                 mem += bgeom.nbytes + levels.nbytes + cnt_t.nbytes
 
@@ -590,12 +696,13 @@ class ClusterPlan(CompiledPlan):
         bsc = np.zeros(tree.n_nodes) if bound is not None else None
         with span("plan.m2l", pairs=u.n_pairs, groups=len(u.groups)):
             for g in u.groups:
-                C = ctx[g.p][0][g.rows]
-                Lp = _batched_m2l_chunked(C, g.d, g.p, self._m2l_dtype)
                 nc = ncoef(g.p)
+                C = _gather_coeffs(ctx, g.sP, g.rows, nc)
+                dt = self._m2l_dtype if g.c64_ok else np.complex128
+                Lp = _batched_m2l_chunked(C, g.d, g.p, dt)
                 L[g.utgt, :nc] += np.add.reduceat(Lp, g.seg, axis=0)
                 if bound is not None:
-                    b = ctx[g.p][1][g.rows] * g.bgeom
+                    b = _gather_abs(ctx, g.sP, g.rows) * g.bgeom
                     bsc[g.utgt] += np.add.reduceat(b, g.seg)
                     if stats is not None:
                         lsum = np.bincount(g.levels, weights=b * g.cnt_t)
@@ -689,7 +796,10 @@ class ClusterPlan(CompiledPlan):
             u = self._units[i]
             vals = np.zeros(u.thi - u.tlo, dtype=np.float64)
             for g in u.groups:
-                srcs = self._rowmap[g.p][g.rows]
+                srcs = np.empty(g.rows.size, dtype=np.int64)
+                for P in np.unique(g.sP):
+                    m = g.sP == P
+                    srcs[m] = self._rowmap[int(P)][g.rows[m]]
                 seg_ends = np.append(g.seg[1:], g.rows.size)
                 for tb, lo, hi in zip(g.utgt, g.seg, seg_ends):
                     ts = max(int(tree.start[tb]), u.tlo)

@@ -58,6 +58,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.bounds import theorem1_bound
+from ..core.degree import select_pair_degrees
 from ..core.treecode import (
     _FAR_CHUNK,
     _NEAR_BUDGET,
@@ -122,7 +123,8 @@ class _FarChunk:
 
     p: int
     tids: np.ndarray  #: target index per pair
-    rows: np.ndarray  #: coefficient-row index into the degree group
+    rows: np.ndarray  #: coefficient row per pair within its storage group
+    sP: np.ndarray  #: storage degree per pair (``ctx`` key; >= ``p``)
     nodes: np.ndarray  #: node id per pair (lazy eval + bound geometry)
     Rre: np.ndarray | None = None  #: w·Re(Y)/r^{n+1} rows (None = spilled)
     Rim: np.ndarray | None = None
@@ -206,6 +208,63 @@ def _build_p2m_group(tree, p: int, un: np.ndarray) -> tuple[_P2MGroup, int]:
     return group, G.nbytes + pidx.nbytes + seg.nbytes + un.nbytes
 
 
+def _build_p2m_storage(tree, fn: np.ndarray, pdeg: np.ndarray):
+    """P2M transfer operators keyed by each source node's *maximum*
+    pair degree.
+
+    A node referenced by pairs at several degrees (variable-order
+    plans) gets one operator at the largest of them: the multipole
+    coefficient packing is degree-major, so the coefficients a
+    lower-degree pair needs are exactly the leading ``ncoef(p)``
+    entries of the stored vector — consumers slice instead of holding a
+    duplicate operator per degree.  Fixed-degree plans assign one
+    degree per source node, so this reduces to the historical
+    one-group-per-degree layout with bit-identical coefficients.
+
+    Returns ``(Psrc, srow, groups, rowmap, bytes)`` where ``Psrc`` maps
+    node id -> storage degree (-1 when the node sources no far pair)
+    and ``srow`` maps node id -> its coefficient row within the
+    ``Psrc[node]`` storage group.
+    """
+    Psrc = np.full(tree.n_nodes, -1, dtype=np.int64)
+    np.maximum.at(Psrc, fn, pdeg)
+    srow = np.full(tree.n_nodes, -1, dtype=np.int64)
+    groups, rowmap, mem = [], {}, 0
+    for P in np.unique(Psrc[fn]):
+        un = np.nonzero(Psrc == P)[0]
+        group, gbytes = _build_p2m_group(tree, int(P), un)
+        groups.append(group)
+        rowmap[int(P)] = un
+        srow[un] = np.arange(un.size)
+        mem += gbytes
+    return Psrc, srow, groups, rowmap, mem
+
+
+def _gather_coeffs(ctx, sP: np.ndarray, rows: np.ndarray, nc: int) -> np.ndarray:
+    """Multipole coefficients for a pair batch, truncated to ``nc``
+    entries, gathered from per-storage-degree coefficient tables."""
+    uP = np.unique(sP)
+    if uP.size == 1:
+        return ctx[int(uP[0])][0][rows, :nc]
+    C = np.empty((rows.size, nc), dtype=np.complex128)
+    for P in uP:
+        m = sP == P
+        C[m] = ctx[int(P)][0][rows[m], :nc]
+    return C
+
+
+def _gather_abs(ctx, sP: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Absolute cluster charges for a pair batch (bounds accounting)."""
+    uP = np.unique(sP)
+    if uP.size == 1:
+        return ctx[int(uP[0])][1][rows]
+    A = np.empty(rows.size, dtype=np.float64)
+    for P in uP:
+        m = sP == P
+        A[m] = ctx[int(P)][1][rows[m]]
+    return A
+
+
 def _sph_to_cart(dr, dth, dph, st, ct, cp, sp):
     gx = dr * st * cp + dth * ct * cp - dph * sp
     gy = dr * st * sp + dth * ct * sp + dph * cp
@@ -261,6 +320,7 @@ class CompiledPlan:
         accumulate_bounds: bool = False,
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         rows_dtype=np.float64,
+        tol: float | None = None,
     ) -> None:
         if compute not in ("potential", "both"):
             raise ValueError(f"compute must be 'potential' or 'both', got {compute!r}")
@@ -269,6 +329,8 @@ class CompiledPlan:
             raise ValueError(
                 f"rows_dtype must be float64 or float32, got {rows_dtype}"
             )
+        if tol is not None and tol <= 0:
+            raise ValueError(f"tol must be > 0, got {tol}")
         tgt = np.asarray(tgt, dtype=np.float64)
         if tgt.ndim != 2 or tgt.shape[1] != 3:
             raise ValueError(f"targets must have shape (t, 3), got {tgt.shape}")
@@ -279,14 +341,43 @@ class CompiledPlan:
         self.accumulate_bounds = bool(accumulate_bounds)
         self.memory_budget = int(memory_budget)
         self.rows_dtype = rows_dtype
+        self.tol = None if tol is None else float(tol)
+        #: degree cap of per-pair selection — the VariableDegree policy's
+        #: cap when that policy drives the plan; other policies' p_max
+        #: attributes cap *their own* schedules, not pair selection
+        from ..core.degree import VariableDegree
+
+        self._tol_p_max = (
+            int(tc.degree_policy.p_max)
+            if isinstance(tc.degree_policy, VariableDegree)
+            else 60
+        )
+        #: compile-time max per-target Theorem-1 ledger (tol plans only;
+        #: anchored at the charges the treecode held at compile time)
+        self.predicted_ledger_max: float | None = None if tol is None else 0.0
         with stopwatch("plan.compile", targets=int(tgt.shape[0])) as sw:
             self._compile(lists)
         self.compile_time = sw.elapsed
+        degree_hist = dict(self._static_stats.interactions_by_degree)
         if is_enabled():
             REGISTRY.counter("plan_compiles", "evaluation plans compiled").inc()
             REGISTRY.gauge(
                 "plan_memory_bytes", "materialized bytes of the most recent plan"
             ).set(self.memory_bytes)
+            if degree_hist:
+                buckets = REGISTRY.counter(
+                    "plan_degree_bucket_pairs",
+                    "far interactions per selected degree bucket",
+                    labelnames=("degree",),
+                )
+                for pd in sorted(degree_hist):
+                    buckets.labels(degree=pd).inc(degree_hist[pd])
+            if self.predicted_ledger_max is not None:
+                REGISTRY.gauge(
+                    "plan_predicted_ledger_max",
+                    "compile-time max per-target Theorem-1 ledger of the "
+                    "most recent tol-compiled plan",
+                ).set(self.predicted_ledger_max)
         journal.emit(
             "plan_compile",
             mode="cluster" if type(self).__name__ == "ClusterPlan" else "target",
@@ -295,6 +386,9 @@ class CompiledPlan:
             compile_s=float(self.compile_time),
             units=int(self.n_units),
             far_spilled=int(self.n_far_spilled),
+            tol=self.tol,
+            predicted_ledger_max=self.predicted_ledger_max,
+            degree_hist={str(k): int(v) for k, v in sorted(degree_hist.items())},
         )
 
     # -- compilation ---------------------------------------------------
@@ -307,10 +401,44 @@ class CompiledPlan:
         # ---- far field: degree grouping identical to evaluate_lists ----
         fn, ft = lists.far_nodes, lists.far_targets
         self._p2m_groups: list[_P2MGroup] = []
+        self._rowmap: dict[int, np.ndarray] = {}
         self._far_chunks: list[_FarChunk] = []
         stats = TreecodeStats(n_targets=int(tgt.shape[0]))
+        #: per-far-pair degree in traversal emission order (for
+        #: degree-aware work profiling, e.g. profile_blocks)
+        self.pair_degrees = np.empty(0, dtype=np.int64)
         if fn.size:
-            pdeg = tc.p_eval[fn]
+            if self.tol is None:
+                pdeg = tc.p_eval[fn]
+            else:
+                # Variable order: split the aggregate budget tol evenly
+                # over each target's far pairs, then give every pair the
+                # minimal degree whose Theorem-1 bound meets its share —
+                # the per-target ledger sums to <= cnt * (tol/cnt) = tol.
+                cnt = np.bincount(ft, minlength=int(tgt.shape[0]))
+                budgets = self.tol / cnt[ft]
+                rel_all = tgt[ft] - tree.center_exp[fn]
+                r_all = np.sqrt(np.einsum("ij,ij->i", rel_all, rel_all))
+                A_all = tree.abs_charge[fn]
+                pdeg = select_pair_degrees(
+                    A_all,
+                    tree.radius[fn],
+                    r_all,
+                    budgets,
+                    p_max=self._tol_p_max,
+                    nodes=fn,
+                )
+                bnd = theorem1_bound(A_all, tree.radius[fn], r_all, pdeg)
+                pred = np.zeros(int(tgt.shape[0]))
+                scatter_add(pred, ft, bnd)
+                self.predicted_ledger_max = float(pred.max())
+            self.pair_degrees = np.asarray(pdeg, dtype=np.int64)
+            # one P2M operator per source node at its max pair degree;
+            # lower-degree pairs slice the leading coefficients
+            Psrc, srow, self._p2m_groups, self._rowmap, p2m_mem = (
+                _build_p2m_storage(tree, fn, pdeg)
+            )
+            mem += p2m_mem
             order = np.argsort(pdeg, kind="stable")
             fn, ft, pdeg = fn[order], ft[order], pdeg[order]
             uniq, starts = np.unique(pdeg, return_index=True)
@@ -324,13 +452,9 @@ class CompiledPlan:
                 stats.interactions_by_degree[p] = (
                     stats.interactions_by_degree.get(p, 0) + npairs
                 )
-                # P2M transfer operator over this group's unique nodes
-                un = np.unique(nodes_g)
-                rows_g = np.searchsorted(un, nodes_g)
+                rows_g = srow[nodes_g]
+                sP_g = Psrc[nodes_g]
                 nc = ncoef(p)
-                group, gbytes = _build_p2m_group(tree, p, un)
-                self._p2m_groups.append(group)
-                mem += gbytes
 
                 fsize = self.rows_dtype.itemsize
                 for clo in range(0, npairs, _FAR_CHUNK):
@@ -345,7 +469,10 @@ class CompiledPlan:
                         cost += 3 * k * nc * 2 * fsize + 4 * k * 8
                     if self.accumulate_bounds:
                         cost += k * 8 + k * tree.level.dtype.itemsize
-                    ch = _FarChunk(p=p, tids=tids_c, rows=rows_c, nodes=nodes_c)
+                    ch = _FarChunk(
+                        p=p, tids=tids_c, rows=rows_c, sP=sP_g[clo:chi],
+                        nodes=nodes_c,
+                    )
                     if budget_used + cost <= self.memory_budget:
                         rel = tgt[tids_c] - tree.center_exp[nodes_c]
                         Rre, Rim, r, gr = _far_chunk_geometry(
@@ -482,8 +609,7 @@ class CompiledPlan:
 
     def _far_unit(self, ctx, i, phi, grad, bound, stats):
         ch = self._far_chunks[i]
-        C_all, A_all = ctx[ch.p]
-        C = C_all[ch.rows]
+        C = _gather_coeffs(ctx, ch.sP, ch.rows, ncoef(ch.p))
         tree = self.tc.tree
         if ch.Rre is not None:
             vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
@@ -506,7 +632,7 @@ class CompiledPlan:
                 gv = m2p_grad_rows(C, rel, ch.p)
             scatter_add(grad, ch.tids, gv)
         if bound is not None:
-            Anode = A_all[ch.rows]
+            Anode = _gather_abs(ctx, ch.sP, ch.rows)
             if ch.bgeom is not None:
                 b = Anode * ch.bgeom
                 levels = ch.levels
@@ -552,7 +678,7 @@ class CompiledPlan:
         nf = len(self._far_chunks)
         if i < nf:
             ch = self._far_chunks[i]
-            C = ctx[ch.p][0][ch.rows]
+            C = _gather_coeffs(ctx, ch.sP, ch.rows, ncoef(ch.p))
             if ch.Rre is not None:
                 vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
                     "tc,tc->t", ch.Rim, C.imag
@@ -790,6 +916,7 @@ def compile_plan(
     mode: str = "target",
     rows_dtype=np.float64,
     n_units: int | None = None,
+    tol: float | None = None,
 ) -> CompiledPlan:
     """Freeze a treecode into a compiled evaluation plan.
 
@@ -799,6 +926,12 @@ def compile_plan(
     :class:`~repro.perf.cluster.ClusterPlan` from a dual-tree traversal
     (box-box M2L into per-leaf local expansions) — ``lists`` is ignored
     and the targets must be the treecode's own points.
+
+    With ``tol`` set, the compiler selects a per-interaction expansion
+    degree — the minimal one whose Theorem-1 (or dual-MAC) bound keeps
+    each target's aggregate error ledger at or below ``tol`` — and
+    buckets interactions by degree so every kernel stays a GEMM.
+    ``tol=None`` reproduces today's fixed-policy plans exactly.
 
     Equivalent to :meth:`repro.core.treecode.Treecode.compile_plan`.
     """
@@ -814,6 +947,7 @@ def compile_plan(
             memory_budget=memory_budget,
             rows_dtype=rows_dtype,
             n_units=n_units,
+            tol=tol,
         )
     if mode != "target":
         raise ValueError(f"mode must be 'target' or 'cluster', got {mode!r}")
@@ -828,4 +962,5 @@ def compile_plan(
         accumulate_bounds=accumulate_bounds,
         memory_budget=memory_budget,
         rows_dtype=rows_dtype,
+        tol=tol,
     )

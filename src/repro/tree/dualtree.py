@@ -56,12 +56,17 @@ class BoxPairs:
     ``far_src[i]``/``far_tgt[i]`` is an accepted source/target box pair
     (M2L candidates); ``near_src``/``near_tgt`` are leaf pairs that
     must interact directly (including each leaf's self pair).
+    ``far_r[i]`` is the center distance of far pair ``i`` — the MAC
+    test computes it anyway, and carrying it out lets consumers (the
+    variable-order plan compiler's per-pair Theorem-1 bound factors)
+    avoid a second distance pass over every pair.
     """
 
     far_src: np.ndarray
     far_tgt: np.ndarray
     near_src: np.ndarray
     near_tgt: np.ndarray
+    far_r: np.ndarray | None = None
 
     @property
     def n_far(self) -> int:
@@ -72,14 +77,22 @@ class BoxPairs:
         return int(self.near_src.size)
 
 
+def _box_mac_r(
+    tree: Octree, src: np.ndarray, tgt: np.ndarray, alpha: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Box MAC acceptance mask plus the center distances it tested."""
+    d = tree.center_exp[src] - tree.center_exp[tgt]
+    r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    acc = (r > 0.0) & (tree.radius[src] + tree.radius[tgt] <= alpha * r)
+    return acc, r
+
+
 def box_mac(
     tree: Octree, src: np.ndarray, tgt: np.ndarray, alpha: float
 ) -> np.ndarray:
     """Vectorized box MAC: accept pair ``(src, tgt)`` iff
     ``a_src + a_tgt <= alpha * |c_src - c_tgt|`` (strictly separated)."""
-    d = tree.center_exp[src] - tree.center_exp[tgt]
-    r = np.sqrt(np.einsum("ij,ij->i", d, d))
-    return (r > 0.0) & (tree.radius[src] + tree.radius[tgt] <= alpha * r)
+    return _box_mac_r(tree, src, tgt, alpha)[0]
 
 
 def _expand(tree: Octree, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -107,15 +120,17 @@ def dual_traverse(tree: Octree, alpha: float) -> BoxPairs:
         raise ValueError(f"alpha must be in (0, 1) for the box MAC, got {alpha}")
     far_s: list[np.ndarray] = []
     far_t: list[np.ndarray] = []
+    far_r: list[np.ndarray] = []
     near_s: list[np.ndarray] = []
     near_t: list[np.ndarray] = []
     src = np.zeros(1, dtype=np.int64)
     tgt = np.zeros(1, dtype=np.int64)
     while src.size:
-        acc = box_mac(tree, src, tgt, alpha)
+        acc, r = _box_mac_r(tree, src, tgt, alpha)
         if acc.any():
             far_s.append(src[acc])
             far_t.append(tgt[acc])
+            far_r.append(r[acc])
             src, tgt = src[~acc], tgt[~acc]
         if not src.size:
             break
@@ -156,4 +171,7 @@ def dual_traverse(tree: Octree, alpha: float) -> BoxPairs:
         far_tgt=_cat(far_t),
         near_src=_cat(near_s),
         near_tgt=_cat(near_t),
+        far_r=(
+            np.concatenate(far_r) if far_r else np.empty(0, dtype=np.float64)
+        ),
     )
