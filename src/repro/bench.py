@@ -42,6 +42,14 @@ component):
   same Theorem-1 guarantee.
 * ``variable_order_mem_ratio`` — absolute ceiling ``1.0``: the
   variable-order plan may not outgrow the uniform plan it replaces.
+* ``m2l_rotation_speedup`` — absolute floor ``2.0``,
+  history-independent: the rotation-accelerated O((p+1)^3) M2L must
+  stay >= 2x faster than the dense O((p+1)^4) path at the same degree
+  on the ``p >= 8`` rows of ``benchmarks/bench_kernels.py``'s BENCH_6
+  report (lower degrees report the ratio informationally as
+  ``rotation_speedup``).
+* ``m2l_backend_rel_diff`` — absolute ceiling ``1e-12``: the
+  complex128 dense/rotation agreement contract.
 * ``*_s`` (timings) and everything else — informational: reported in
   the table, never gating (wall times on shared CI are too noisy to
   fail on directly; ``speedup`` is the noise-immune ratio).
@@ -83,6 +91,11 @@ _RULES: dict[str, tuple[str, float]] = {
     # acceptance criteria themselves, history-independent
     "variable_order_speedup": ("abs_min", 2.0),
     "variable_order_mem_ratio": ("abs_max", 1.0),
+    # rotation-based M2L vs dense at identical degree (BENCH_6): the
+    # O((p+1)^3) pipeline must keep paying for itself at p >= 8, and
+    # the two backends must agree to 1e-12 in complex128
+    "m2l_rotation_speedup": ("abs_min", 2.0),
+    "m2l_backend_rel_diff": ("abs_max", 1e-12),
 }
 
 #: per-row fields worth tracking as series (present or not per bench)
@@ -103,6 +116,11 @@ _ROW_METRICS = (
     "variable_order_ledger_headroom",
     "fixed_matvec_s",
     "variable_matvec_s",
+    "m2l_rotation_speedup",
+    "rotation_speedup",
+    "m2l_backend_rel_diff",
+    "dense_s",
+    "rotation_s",
 )
 
 
@@ -127,10 +145,10 @@ def extract_series(report: dict) -> dict:
 
     Handles the BENCH_3 shape (``treecode`` rows + optional ``bem``
     block), the BENCH_4 shape (``treecode_cluster`` rows + optional
-    ``variable_order`` block) and the BENCH_5 shape (``supervisor``
-    block); unknown report layouts yield an empty dict rather than an
-    error, so the ledger tolerates future benches until series are
-    defined for them.
+    ``variable_order`` block), the BENCH_5 shape (``supervisor``
+    block) and the BENCH_6 shape (``m2l_backends`` rows); unknown
+    report layouts yield an empty dict rather than an error, so the
+    ledger tolerates future benches until series are defined for them.
     """
     series: dict = {}
     for row in report.get("treecode") or []:
@@ -146,6 +164,8 @@ def extract_series(report: dict) -> dict:
     sup = report.get("supervisor")
     if sup:
         _row_series(f"supervisor/n{sup.get('n')}", sup, series)
+    for row in report.get("m2l_backends") or []:
+        _row_series(f"m2l/p{row.get('p')}", row, series)
     proj = report.get("projected_mb_50k")
     if isinstance(proj, (int, float)):
         series["cluster/projected_mb_50k"] = float(proj)

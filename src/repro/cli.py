@@ -99,6 +99,12 @@ def _table1(args) -> str:
     if args.scale == "full":
         structured = [4000, 8000, 16000, 32000, 64000]
         unstructured = [("gaussian", 32000), ("overlapping_gaussians", 48000)]
+    elif args.scale == "smoke":
+        # tiny instances sized for CI gates: a forced rotation backend
+        # builds one operator per far pair on these irregular trees, so
+        # the usual 'small' sizes would take minutes per case
+        structured = [1000]
+        unstructured = [("gaussian", 1500)]
     else:
         structured = [1000, 2000, 4000, 8000]
         unstructured = [("gaussian", 4000), ("overlapping_gaussians", 6000)]
@@ -117,11 +123,21 @@ def _table1(args) -> str:
     if tol is not None:
         from .experiments import run_variable_order_case
 
-        out.append(f"variable-order plans at tol={tol:g} (err <= ledger <= tol):")
+        backend = getattr(args, "translation_backend", "auto")
+        # a forced backend is exercised by the cluster plan's M2L
+        # pipeline; the target-major plan stores no translations
+        vo_mode = "target" if backend == "auto" else "cluster"
+        out.append(
+            f"variable-order plans at tol={tol:g} (err <= ledger <= tol), "
+            f"translation backend {backend}:"
+        )
         cases = [("uniform", n) for n in structured] + unstructured
         for dist, n in cases:
             s = None if args.seed is None else args.seed + n
-            vo = run_variable_order_case(dist, n, tol, alpha=args.alpha, seed=s)
+            vo = run_variable_order_case(
+                dist, n, tol, alpha=args.alpha, seed=s, mode=vo_mode,
+                translation_backend=backend,
+            )
             flag = "ok" if vo["contained"] else "VIOLATED"
             out.append(
                 f"  {dist} n={n}: err {vo['max_err']:.3e} <= ledger "
@@ -441,9 +457,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=["small", "full"],
+        choices=["smoke", "small", "full"],
         default="small",
-        help="instance sizes: 'small' (minutes) or 'full' (paper scale)",
+        help="instance sizes: 'small' (minutes), 'full' (paper scale), or "
+        "'smoke' (seconds; table1 shrinks to two tiny instances for CI "
+        "gates, other experiments fall back to 'small' sizes)",
     )
     parser.add_argument("--p0", type=int, default=4, help="base multipole degree")
     parser.add_argument("--alpha", type=float, default=0.4, help="MAC parameter")
@@ -456,6 +474,15 @@ def main(argv=None) -> int:
         "per-interaction degrees keep every target's Theorem-1 error "
         "ledger <= TOL (table1 appends per-case containment checks; "
         "table3 adds a target-tol operator row)",
+    )
+    parser.add_argument(
+        "--translation-backend",
+        choices=("dense", "rotation", "auto"),
+        default="auto",
+        help="multipole translation kernels for compiled plans: 'dense' "
+        "(O(p^4) grid correlation), 'rotation' (rotate-translate-rotate, "
+        "O(p^3)), or 'auto' (rotation at degrees >= the calibrated "
+        "crossover; REPRO_M2L_CROSSOVER overrides)",
     )
     parser.add_argument(
         "--seed",

@@ -32,7 +32,16 @@ from ..multipole.harmonics import (
     sph_harmonics,
     term_count,
 )
-from ..multipole.translations import l2l, m2l, m2l_operator, m2m
+from ..multipole.rotations import RotationCache, rotate_packed
+from ..multipole.translations import (
+    axial_l2l,
+    axial_m2l,
+    axial_m2m,
+    l2l,
+    m2l,
+    m2l_operator,
+    m2m,
+)
 from ..obs import journal
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
@@ -94,6 +103,18 @@ class UniformFMM:
         grid — e.g. after :meth:`set_charges` — skip all geometry
         recomputation.  The first evaluation always runs the direct
         path, so one-shot uses pay nothing.
+    translation_backend:
+        ``"dense"``, ``"rotation"`` or ``"auto"``: kernel family for the
+        M2M/M2L/L2L sweeps.  The rotation pipeline
+        (rotate-translate-rotate, O((p+1)^3) per translation) shines on
+        the uniform grid: the ≤316 V-list offsets have the *same* unit
+        directions at every level (offsets scale with the cell edge), so
+        one small shared operator cache covers the whole hierarchy —
+        and, in the planned path, replaces the per-offset dense
+        ``(Tr, Ti)`` operator matrices, shrinking plan memory from
+        O(offsets · p^4) to O(dirs · p^3).  ``"auto"`` rotates at
+        degrees >=
+        :data:`~repro.parallel.partition.ROTATION_CROSSOVER_P`.
     """
 
     def __init__(
@@ -105,8 +126,17 @@ class UniformFMM:
         tol: float | None = None,
         tol_p_max: int = 30,
         use_plan: bool = True,
+        translation_backend: str = "auto",
     ) -> None:
         self.use_plan = bool(use_plan)
+        if translation_backend not in ("dense", "rotation", "auto"):
+            raise ValueError(
+                "translation_backend must be 'dense', 'rotation' or "
+                f"'auto', got {translation_backend!r}"
+            )
+        self.translation_backend = translation_backend
+        #: shared rotation operators — directions repeat across levels
+        self._rot_cache = RotationCache()
         points = np.ascontiguousarray(points, dtype=np.float64)
         charges = np.ascontiguousarray(charges, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 3:
@@ -174,6 +204,26 @@ class UniformFMM:
         if charges.shape != (n,):
             raise ValueError(f"charges must be ({n},), got {charges.shape}")
         self.charges = charges[self.perm]
+
+    # ------------------------------------------------------------------
+    def _rot_id(self, d: np.ndarray, p: int) -> tuple[int, float]:
+        """Rotation-cache id and distance for one translation vector."""
+        d = np.asarray(d, dtype=np.float64).reshape(3)
+        rho = float(np.sqrt(d @ d))
+        kid = int(self._rot_cache.ids_for((d / rho)[None, :], p)[0])
+        return kid, rho
+
+    def _apply_rotated(self, X, kid: int, rho: float, p: int, axial):
+        """Rotate-translate-rotate with one shared-direction operator."""
+        ops = self._rot_cache.get(kid)
+        Cr = rotate_packed(X, ops, p)
+        La = axial(Cr, rho, p)
+        return rotate_packed(La, ops, p, inverse=True)
+
+    def _use_rotation(self, p: int) -> bool:
+        from ..parallel.partition import resolve_backend
+
+        return resolve_backend(self.translation_backend, p) == "rotation"
 
     # ------------------------------------------------------------------
     def _cell_centers(self, l: int) -> np.ndarray:
@@ -305,6 +355,7 @@ class UniformFMM:
             m2l_groups: dict[int, list] = {}
             for l in range(2, L + 1):
                 p = degs[l]
+                use_rot = self._use_rotation(p)
                 pos = self._coords(l)
                 ncell = 1 << l
                 h = self.edge / ncell
@@ -338,10 +389,22 @@ class UniformFMM:
                                 src_z[valid].astype(np.uint64),
                             ).astype(np.int64)
                             d = np.array([[dx * h, dy * h, dz * h]])
-                            Tr, Ti = m2l_operator(d, p, p)
-                            groups.append((tgt, src, Tr, Ti))
-                            mem += tgt.nbytes + src.nbytes + Tr.nbytes + Ti.nbytes
+                            if use_rot:
+                                # offsets scale with h, so their unit
+                                # directions repeat at every level — the
+                                # cache holds <= 316 operators total
+                                kid, rho = self._rot_id(d[0], p)
+                                groups.append(("rot", tgt, src, kid, rho))
+                                mem += tgt.nbytes + src.nbytes
+                            else:
+                                Tr, Ti = m2l_operator(d, p, p)
+                                groups.append(("dense", tgt, src, Tr, Ti))
+                                mem += (
+                                    tgt.nbytes + src.nbytes
+                                    + Tr.nbytes + Ti.nbytes
+                                )
                 m2l_groups[l] = groups
+            mem += self._rot_cache.nbytes
 
             near_pairs = []
             coordsL = self._coords(L)
@@ -393,6 +456,7 @@ class UniformFMM:
             memory_bytes=self.plan_memory_bytes,
             compile_s=float(self.plan_compile_time),
             level=int(self.L),
+            translation_backend=self.translation_backend,
         )
         return self._plan
 
@@ -428,6 +492,7 @@ class UniformFMM:
                 s, e = self.cell_start[c], self.cell_end[c]
                 rel = self.points[s:e] - centers_L[c]
                 M[L][c] = p2m_terms(rel, self.charges[s:e], p_store).sum(axis=0)
+        rot_up = self._use_rotation(p_store)
         for l in range(L - 1, 1, -1):
             child_centers = self._cell_centers(l + 1)
             parent_centers = self._cell_centers(l)
@@ -439,7 +504,13 @@ class UniformFMM:
                 sel = child_ids[(child_ids & 7) == oct_]
                 par = parent_ids[sel]
                 shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
-                Ml[par] += m2m(M[l + 1][sel], shift, p_store)
+                if rot_up:
+                    kid, rho = self._rot_id(shift[0], p_store)
+                    Ml[par] += self._apply_rotated(
+                        M[l + 1][sel], kid, rho, p_store, axial_m2m
+                    )
+                else:
+                    Ml[par] += m2m(M[l + 1][sel], shift, p_store)
             M[l] = Ml
         sw.__exit__(None, None, None)
         self.stats.times["upward"] = sw.elapsed
@@ -453,9 +524,12 @@ class UniformFMM:
                 nc_p = ncoef(p)
                 Ll = Llocal[l]
                 Ml = M[l]
-                for tgt, src, Tr, Ti in plan["m2l"][l]:
+                for kind, tgt, src, a, b in plan["m2l"][l]:
                     X = Ml[src][:, :nc_p]
-                    Ll[tgt] += X.real @ Tr + X.imag @ Ti
+                    if kind == "rot":
+                        Ll[tgt] += self._apply_rotated(X, a, b, p, axial_m2l)
+                    else:
+                        Ll[tgt] += X.real @ a + X.imag @ b
                     self.stats.n_m2l += tgt.size
                     self.stats.n_terms_m2l += tgt.size * term_count(p)
             sw.__exit__(None, None, None)
@@ -467,6 +541,7 @@ class UniformFMM:
         sw = stopwatch("fmm.l2l").__enter__()
         for l in range(2, L):
             p_par, p_child = degs[l], degs[l + 1]
+            rot_down = self._use_rotation(p_par)
             child_centers = self._cell_centers(l + 1)
             parent_centers = self._cell_centers(l)
             child_ids = np.arange(8 ** (l + 1))
@@ -475,7 +550,13 @@ class UniformFMM:
                 sel = child_ids[(child_ids & 7) == oct_]
                 par = parent_ids[sel]
                 shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
-                shifted = l2l(Llocal[l][par], shift, p_par)
+                if rot_down:
+                    kid, rho = self._rot_id(shift[0], p_par)
+                    shifted = self._apply_rotated(
+                        Llocal[l][par], kid, rho, p_par, axial_l2l
+                    )
+                else:
+                    shifted = l2l(Llocal[l][par], shift, p_par)
                 Llocal[l + 1][sel] += shifted[:, : ncoef(p_child)]
         sw.__exit__(None, None, None)
         self.stats.times["l2l"] = sw.elapsed
@@ -517,6 +598,7 @@ class UniformFMM:
         L, degs = self.L, self.degrees
         for l in range(2, L + 1):
             p = degs[l]
+            use_rot = self._use_rotation(p)
             coords = self._coords(l)
             ncell = 1 << l
             h = self.edge / ncell
@@ -553,9 +635,16 @@ class UniformFMM:
                             src_z[valid].astype(np.uint64),
                         ).astype(np.int64)
                         d = np.array([[dx * h, dy * h, dz * h]])
-                        Llocal[l][tgt] += m2l(
-                            M[l][src][:, : ncoef(p)], d, p, p
-                        )
+                        if use_rot:
+                            kid, rho = self._rot_id(d[0], p)
+                            Llocal[l][tgt] += self._apply_rotated(
+                                M[l][src][:, : ncoef(p)], kid, rho, p,
+                                axial_m2l,
+                            )
+                        else:
+                            Llocal[l][tgt] += m2l(
+                                M[l][src][:, : ncoef(p)], d, p, p
+                            )
                         self.stats.n_m2l += tgt.size
                         self.stats.n_terms_m2l += tgt.size * term_count(p)
         sw.__exit__(None, None, None)

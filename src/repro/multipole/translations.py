@@ -37,11 +37,10 @@ children of a level at once.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
-from .harmonics import cart_to_sph, ncoef, sph_harmonics
+from .harmonics import cart_to_sph, degree_of_index, ncoef, power_table, sph_harmonics
+from .rotations import RotationCache, rotate_packed
 
 __all__ = [
     "m2m",
@@ -50,18 +49,97 @@ __all__ = [
     "m2l_from_geometry",
     "m2l_operator",
     "l2l",
+    "axial_m2m",
+    "axial_m2l",
+    "axial_l2l",
+    "m2m_rotated",
+    "m2l_rotated",
+    "l2l_rotated",
     "to_full_grid",
     "from_full_grid",
+    "translation_cache_stats",
 ]
 
 
-@lru_cache(maxsize=None)
+#: Cap on entries held by the shared grid/operator cache below.  The
+#: keys span degrees up to 2*42 (the M2L geometry grid uses the summed
+#: degree) across several grid kinds plus the axial operator tables, so
+#: the cap is larger than the 64 used for ``m_weights`` — but still a
+#: hard bound, with FIFO eviction like PR 7's ``m_weights`` cache.
+_TRANSLATION_CACHE_MAX = 256
+
+_translation_cache: dict[tuple, object] = {}
+_translation_hits = 0
+_translation_misses = 0
+
+
+def _cached(key: tuple, build):
+    """Bounded FIFO memo shared by the grid and axial-operator helpers.
+
+    Replaces the former unbounded ``lru_cache(maxsize=None)`` decorators:
+    variable-order plans sweep many degrees per compile and must not grow
+    the cache without limit.  Hit/miss totals surface in the metrics
+    registry when tracing is enabled (``translation_cache_hits`` /
+    ``translation_cache_misses``); the hit path stays a dict lookup.
+    """
+    global _translation_hits, _translation_misses
+    val = _translation_cache.get(key)
+    if val is not None:
+        _translation_hits += 1
+        return val
+    _translation_misses += 1
+    val = build()
+    if len(_translation_cache) >= _TRANSLATION_CACHE_MAX:
+        _translation_cache.pop(next(iter(_translation_cache)))
+    _translation_cache[key] = val
+    _record_translation_metrics()
+    return val
+
+
+def _record_translation_metrics() -> None:
+    """Publish cache totals to the metrics registry (tracing only).
+
+    Deferred import, synced on misses only — same contract as
+    ``expansion._record_m_weights_metrics``.
+    """
+    from ..obs.tracing import is_enabled
+
+    if not is_enabled():
+        return
+    from ..obs.metrics import REGISTRY
+
+    h = REGISTRY.counter(
+        "translation_cache_hits", "translation grid/operator cache hits"
+    )
+    if _translation_hits > h.value:
+        h.inc(_translation_hits - h.value)
+    m = REGISTRY.counter(
+        "translation_cache_misses", "translation grid/operator cache misses"
+    )
+    if _translation_misses > m.value:
+        m.inc(_translation_misses - m.value)
+
+
+def translation_cache_stats() -> dict:
+    """Current grid/operator cache totals (for tests and profiles)."""
+    return {
+        "hits": _translation_hits,
+        "misses": _translation_misses,
+        "size": len(_translation_cache),
+        "max_size": _TRANSLATION_CACHE_MAX,
+    }
+
+
 def _sq_grid(p: int) -> np.ndarray:
     """Grid of ``sqrt((n-m)!(n+m)!)`` with shape ``(p+1, 2p+1)``.
 
     The m-axis index ``mm`` corresponds to ``m = mm - p``; entries with
     ``|m| > n`` are set to 1 (they multiply zeros).
     """
+    return _cached(("sq", p), lambda: _build_sq_grid(p))
+
+
+def _build_sq_grid(p: int) -> np.ndarray:
     out = np.ones((p + 1, 2 * p + 1), dtype=np.float64)
     fact = [1.0]
     for k in range(1, 2 * p + 1):
@@ -72,20 +150,26 @@ def _sq_grid(p: int) -> np.ndarray:
     return out
 
 
-@lru_cache(maxsize=None)
 def _iphase_grid(p: int, sign: int) -> np.ndarray:
     """Grid of ``i^{sign*|m|}`` with shape ``(p+1, 2p+1)``."""
-    m = np.abs(np.arange(-p, p + 1))
-    row = (1j) ** ((sign * m) % 4)
-    return np.broadcast_to(row, (p + 1, 2 * p + 1)).copy()
+
+    def build() -> np.ndarray:
+        m = np.abs(np.arange(-p, p + 1))
+        row = (1j) ** ((sign * m) % 4)
+        return np.broadcast_to(row, (p + 1, 2 * p + 1)).copy()
+
+    return _cached(("iphase", p, sign), build)
 
 
-@lru_cache(maxsize=None)
 def _valid_mask(p: int) -> np.ndarray:
     """Boolean grid marking valid ``|m| <= n`` entries."""
-    n = np.arange(p + 1)[:, None]
-    m = np.abs(np.arange(-p, p + 1))[None, :]
-    return m <= n
+
+    def build() -> np.ndarray:
+        n = np.arange(p + 1)[:, None]
+        m = np.abs(np.arange(-p, p + 1))[None, :]
+        return m <= n
+
+    return _cached(("mask", p), build)
 
 
 def to_full_grid(packed: np.ndarray, p: int) -> np.ndarray:
@@ -327,3 +411,237 @@ def l2l(coeffs: np.ndarray, shifts: np.ndarray, p: int) -> np.ndarray:
     out *= _iphase_grid(p, -1) / sq
     out *= mask
     return from_full_grid(out, p)
+
+
+# ---------------------------------------------------------------------------
+# Axial (z-aligned) translations and their rotation-accelerated wrappers.
+#
+# When the translation vector is ``rho * z`` the addition theorems above
+# collapse: Y_n^m(z) = delta_{m0}, so every operator conserves the order
+# ``m`` and becomes a small real triangular matrix per ``m`` — O((p+1)^3)
+# flops in total instead of O((p+1)^4).  Specializing the docstring
+# formulas to the axial case (all i-powers cancel; sq = sqrt((n-m)!(n+m)!)):
+#
+#   M2M:  M'_n^m = sum_{j=|m|}^{n}  sq(n,m) / (sq(j,m) (n-j)!) rho^{n-j} M_j^m
+#   M2L:  L_j^k  = sum_{n=|k|}^{p}  (-1)^{n+k} (j+n)! / (sq(j,k) sq(n,k))
+#                                   rho^{-(j+n+1)} M_n^k
+#   L2L:  L'_j^k = sum_{n=j}^{p}    sq(n,k) / (sq(j,k) (n-j)!) rho^{n-j} L_n^k
+#
+# The rho powers are factored out as per-row diagonal scalings so the
+# remaining matrices are geometry-independent and cached per degree.
+# ---------------------------------------------------------------------------
+
+
+def _axial_cols(p: int, k: int) -> np.ndarray:
+    """Packed indices of the order-``k`` column: ``idx(n, k)`` for n=k..p."""
+    n = np.arange(k, p + 1, dtype=np.int64)
+    return n * (n + 1) // 2 + k
+
+
+def _axial_m2l_mats(p_src: int, p_loc: int, dtype=np.float64) -> list:
+    """Per-order M2L matrices ``G_k[j-k, n-k]`` plus packed column indices."""
+
+    def build() -> list:
+        ptot = p_src + p_loc
+        fact = np.cumprod(
+            np.concatenate([[1.0], np.arange(1, ptot + 1, dtype=np.float64)])
+        )
+        out = []
+        for k in range(min(p_src, p_loc) + 1):
+            j = np.arange(k, p_loc + 1, dtype=np.int64)
+            n = np.arange(k, p_src + 1, dtype=np.int64)
+            sq_j = np.sqrt(fact[j - k] * fact[j + k])
+            sq_n = np.sqrt(fact[n - k] * fact[n + k])
+            sign = np.where((n + k) % 2 == 0, 1.0, -1.0)
+            G = (sign[None, :] * fact[j[:, None] + n[None, :]]) / (
+                sq_j[:, None] * sq_n[None, :]
+            )
+            out.append(
+                (
+                    np.ascontiguousarray(G.astype(dtype).T),
+                    _axial_cols(p_src, k),
+                    _axial_cols(p_loc, k),
+                )
+            )
+        return out
+
+    return _cached(("axial_m2l", p_src, p_loc, np.dtype(dtype).str), build)
+
+
+def _axial_shift_mats(p: int, kind: str, dtype=np.float64) -> list:
+    """Per-order M2M (``kind='m2m'``) or L2L (``kind='l2l'``) matrices.
+
+    Both share the entry ``sq(n,m) / (sq(j,m) (n-j)!)``; M2M sums over
+    sources ``j <= n`` (lower triangular in the output degree), L2L over
+    sources ``n >= j`` (upper triangular).
+    """
+
+    def build() -> list:
+        fact = np.cumprod(
+            np.concatenate([[1.0], np.arange(1, 2 * p + 1, dtype=np.float64)])
+        )
+        out = []
+        for m in range(p + 1):
+            n = np.arange(m, p + 1, dtype=np.int64)
+            sq = np.sqrt(fact[n - m] * fact[n + m])
+            if kind == "m2m":
+                # G[n-m, j-m] for j <= n
+                diff = n[:, None] - n[None, :]
+                G = np.where(
+                    diff >= 0,
+                    sq[:, None] / (sq[None, :] * fact[np.maximum(diff, 0)]),
+                    0.0,
+                )
+            else:
+                # G[j-m, n-m] for n >= j
+                diff = n[None, :] - n[:, None]
+                G = np.where(
+                    diff >= 0,
+                    sq[None, :] / (sq[:, None] * fact[np.maximum(diff, 0)]),
+                    0.0,
+                )
+            out.append((np.ascontiguousarray(G.astype(dtype).T), _axial_cols(p, m)))
+        return out
+
+    return _cached((f"axial_{kind}", p, np.dtype(dtype).str), build)
+
+
+def _real_dtype(c: np.ndarray):
+    return np.float32 if c.dtype == np.complex64 else np.float64
+
+
+def axial_m2l(
+    coeffs: np.ndarray, rho: np.ndarray, p_src: int, p_loc: int | None = None
+) -> np.ndarray:
+    """M2L specialized to displacements ``d = rho * z`` (``rho > 0``).
+
+    ``coeffs`` is ``(B, ncoef(p_src))``, ``rho`` broadcastable to
+    ``(B,)``; returns ``(B, ncoef(p_loc))`` in the dtype of ``coeffs``.
+    """
+    pl = p_src if p_loc is None else p_loc
+    coeffs = np.atleast_2d(coeffs)
+    rdt = _real_dtype(coeffs)
+    rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (coeffs.shape[0],))
+    pw = power_table(1.0 / rho, max(p_src + 1, pl)).astype(rdt, copy=False)
+    ns_s = degree_of_index(p_src)[0]
+    ns_l = degree_of_index(pl)[0]
+    Ct = coeffs * pw[:, ns_s + 1]  # rho^{-(n+1)}
+    out = np.zeros((coeffs.shape[0], ncoef(pl)), dtype=coeffs.dtype)
+    for GT, cols_s, cols_l in _axial_m2l_mats(p_src, pl, rdt):
+        out[:, cols_l] = Ct[:, cols_s] @ GT
+    out *= pw[:, ns_l]  # rho^{-j}
+    return out
+
+
+def axial_m2m(coeffs: np.ndarray, rho: np.ndarray, p: int) -> np.ndarray:
+    """M2M specialized to shifts ``t = rho * z`` (``rho > 0``)."""
+    coeffs = np.atleast_2d(coeffs)
+    rdt = _real_dtype(coeffs)
+    rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (coeffs.shape[0],))
+    pw = power_table(rho, p).astype(rdt, copy=False)
+    pwi = power_table(1.0 / rho, p).astype(rdt, copy=False)
+    ns = degree_of_index(p)[0]
+    Ct = coeffs * pwi[:, ns]  # rho^{-j}
+    out = np.empty_like(coeffs)
+    for GT, cols in _axial_shift_mats(p, "m2m", rdt):
+        out[:, cols] = Ct[:, cols] @ GT
+    out *= pw[:, ns]  # rho^{n}
+    return out
+
+
+def axial_l2l(coeffs: np.ndarray, rho: np.ndarray, p: int) -> np.ndarray:
+    """L2L specialized to shifts ``t = rho * z`` (``rho > 0``)."""
+    coeffs = np.atleast_2d(coeffs)
+    rdt = _real_dtype(coeffs)
+    rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (coeffs.shape[0],))
+    pw = power_table(rho, p).astype(rdt, copy=False)
+    pwi = power_table(1.0 / rho, p).astype(rdt, copy=False)
+    ns = degree_of_index(p)[0]
+    Ct = coeffs * pw[:, ns]  # rho^{n}
+    out = np.empty_like(coeffs)
+    for GT, cols in _axial_shift_mats(p, "l2l", rdt):
+        out[:, cols] = Ct[:, cols] @ GT
+    out *= pwi[:, ns]  # rho^{-j}
+    return out
+
+
+def _rotated_apply(coeffs, shifts, p_src, p_loc, axial, cache):
+    """Shared rotate -> axial -> unrotate driver for the wrappers below.
+
+    Groups rows by quantized shift direction so each distinct direction
+    pays for its rotation operator once; zero shifts are the identity.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.complex128))
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    if shifts.shape[0] == 1 and coeffs.shape[0] > 1:
+        shifts = np.broadcast_to(shifts, (coeffs.shape[0], 3))
+    rho = np.sqrt(np.einsum("ij,ij->i", shifts, shifts))
+    out = np.empty((coeffs.shape[0], ncoef(p_loc)), dtype=np.complex128)
+    live = rho > 0.0
+    if not live.all():
+        # zero shift: M2M/L2L are the identity (M2L never sees rho=0)
+        nc = min(ncoef(p_loc), coeffs.shape[1])
+        out[~live, :] = 0.0
+        out[~live, :nc] = coeffs[~live, :nc]
+    idx_live = np.nonzero(live)[0]
+    if idx_live.size == 0:
+        return out
+    u = shifts[idx_live] / rho[idx_live, None]
+    if cache is None:
+        cache = RotationCache()
+    ids = cache.ids_for(u, max(p_src, p_loc))
+    order = np.argsort(ids, kind="stable")
+    ids_sorted = ids[order]
+    bounds = np.flatnonzero(np.diff(ids_sorted)) + 1
+    starts = np.concatenate([[0], bounds])
+    stops = np.concatenate([bounds, [ids_sorted.size]])
+    for lo, hi in zip(starts, stops):
+        rows = idx_live[order[lo:hi]]
+        ops = cache.get(int(ids_sorted[lo]))
+        Cr = rotate_packed(coeffs[rows], ops, p_src)
+        La = axial(Cr, rho[rows])
+        out[rows] = rotate_packed(La, ops, p_loc, inverse=True)
+    return out
+
+
+def m2l_rotated(
+    coeffs: np.ndarray,
+    d: np.ndarray,
+    p_src: int,
+    p_loc: int | None = None,
+    cache: RotationCache | None = None,
+) -> np.ndarray:
+    """Drop-in :func:`m2l` via rotate-translate-rotate (O((p+1)^3)).
+
+    Agrees with the dense path to ~1e-12 at the repo's degree cap; pass
+    a shared :class:`~repro.multipole.rotations.RotationCache` to reuse
+    operators across calls.
+    """
+    pl = p_src if p_loc is None else p_loc
+    return _rotated_apply(
+        coeffs, d, p_src, pl, lambda C, r: axial_m2l(C, r, p_src, pl), cache
+    )
+
+
+def m2m_rotated(
+    coeffs: np.ndarray,
+    shifts: np.ndarray,
+    p: int,
+    cache: RotationCache | None = None,
+) -> np.ndarray:
+    """Drop-in :func:`m2m` via rotate-translate-rotate (O((p+1)^3))."""
+    return _rotated_apply(
+        coeffs, shifts, p, p, lambda C, r: axial_m2m(C, r, p), cache
+    )
+
+
+def l2l_rotated(
+    coeffs: np.ndarray,
+    shifts: np.ndarray,
+    p: int,
+    cache: RotationCache | None = None,
+) -> np.ndarray:
+    """Drop-in :func:`l2l` via rotate-translate-rotate (O((p+1)^3))."""
+    return _rotated_apply(
+        coeffs, shifts, p, p, lambda C, r: axial_l2l(C, r, p), cache
+    )

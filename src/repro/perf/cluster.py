@@ -71,9 +71,21 @@ from ..multipole.harmonics import (
     sph_harmonics,
     term_count,
 )
-from ..multipole.translations import _iphase_grid, _sq_grid, _valid_mask, l2l
+from ..multipole.rotations import RotationCache, direction_keys, rotate_packed
+from ..multipole.translations import (
+    _iphase_grid,
+    _sq_grid,
+    _valid_mask,
+    axial_m2l,
+    l2l,
+)
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import is_enabled, span, stopwatch
+from ..parallel.partition import (
+    ROTATION_CROSSOVER_P,
+    resolve_backend,
+    translation_cost,
+)
 from ..tree.dualtree import dual_traverse
 from .plan import (
     DEFAULT_MEMORY_BUDGET,
@@ -152,6 +164,15 @@ def batched_m2l(
     B = C.shape[0]
     ptot = 2 * p
     rdt = np.float32 if dtype == np.complex64 else np.float64
+    # Uniform grids emit many identical displacement rows; the singular
+    # grid (by far the largest per-row build cost) is a pure elementwise
+    # function of its row, so computing it once per distinct row and
+    # gathering is bitwise-identical to the direct build.
+    d_u, inv = d, None
+    if B >= 16:
+        uq, uinv = np.unique(d, axis=0, return_inverse=True)
+        if 2 * uq.shape[0] <= B:
+            d_u, inv = uq, uinv
     ns, ms = _pack_idx(p)
     # rescaled multipole grid, batch-last, with conjugate mirror
     scale_s = (
@@ -166,15 +187,15 @@ def batched_m2l(
     mhat[ns[neg], p - ms[neg]] = (
         np.conj(Ct[neg]) * scale_s[ns[neg], p - ms[neg]].astype(dtype)[:, None]
     )
-    # scaled singular grid of the displacements, batch-last
-    rho, ct, phi = cart_to_sph(d)
+    # scaled singular grid of the (deduplicated) displacements, batch-last
+    rho, ct, phi = cart_to_sph(d_u)
     Yt = np.ascontiguousarray(sph_harmonics(ct, phi, ptot).T).astype(dtype)
     npow = (
         (1.0 / rho)[None, :] ** (np.arange(ptot + 1)[:, None] + 1)
     ).astype(rdt)
     scale_t = (_iphase_grid(ptot, +1) * _sq_grid(ptot)) * _valid_mask(ptot)
     nt, mt = _pack_idx(ptot)
-    shat = np.zeros((ptot + 1, 2 * ptot + 1, B), dtype=dtype)
+    shat = np.zeros((ptot + 1, 2 * ptot + 1, d_u.shape[0]), dtype=dtype)
     shat[nt, ptot + mt] = (
         Yt * scale_t[nt, ptot + mt].astype(dtype)[:, None] * npow[nt]
     )
@@ -184,6 +205,8 @@ def batched_m2l(
         * scale_t[nt[negt], ptot - mt[negt]].astype(dtype)[:, None]
         * npow[nt[negt]]
     )
+    if inv is not None:
+        shat = np.ascontiguousarray(shat[:, :, inv])
     # translation: correlation of the two grids, batch-last.  Only the
     # m >= 0 half of the local grid is accumulated — the packed layout
     # never reads m < 0 (conjugate symmetry), which halves the work.
@@ -225,6 +248,11 @@ class _FarGroup:
     levels: np.ndarray | None  #: source box level per pair
     cnt_t: np.ndarray | None  #: unit targets under the target box
     c64_ok: bool = True  #: complex64 M2L safe at this degree/distance
+    #: rotation-backend schedule ``(perm, starts, stops, op_ids, rho)``:
+    #: ``perm`` sorts the pairs by rotation-operator id, ``starts``/
+    #: ``stops`` delimit the equal-direction runs, ``rho`` is the center
+    #: distance per sorted pair.  ``None`` selects the dense kernel.
+    rot: tuple | None = None
 
 
 @dataclass
@@ -296,6 +324,7 @@ class ClusterPlan(CompiledPlan):
         rows_dtype=np.float64,
         n_units: int | None = None,
         tol: float | None = None,
+        translation_backend: str = "auto",
     ) -> None:
         if not self_targets:
             raise ValueError(
@@ -315,6 +344,7 @@ class ClusterPlan(CompiledPlan):
             memory_budget=memory_budget,
             rows_dtype=rows_dtype,
             tol=tol,
+            translation_backend=translation_backend,
         )
 
     # -- compilation ---------------------------------------------------
@@ -336,6 +366,10 @@ class ClusterPlan(CompiledPlan):
         # (see _m2l_c64_safe).
         self._m2l_dtype = np.complex128 if self.tol is not None else np.complex64
         self._tol_p_max = min(self._tol_p_max, _M2L_MAX_P)
+        #: rotation operators shared by every unit's rotation-backend
+        #: groups, deduplicated by quantized unit direction (uniform
+        #: grids repeat the same few hundred well-separated offsets)
+        self._rot_cache = RotationCache()
 
         pairs = dual_traverse(tree, tc.alpha)
         fs, ft = pairs.far_src, pairs.far_tgt
@@ -396,10 +430,13 @@ class ClusterPlan(CompiledPlan):
         n_leaves = int(leaves.size)
         self._units: list[_FarUnit] = []
         if fs.size:
-            # balance on estimated M2L work per leaf: each pair costs
-            # ~ncoef(p)^2 at its target box, inherited by every leaf below
+            # balance on estimated M2L work per leaf — (p+1)^4 dense,
+            # (p+1)^3 rotation, per the selected backend — at its target
+            # box, inherited by every leaf below
             wk = np.zeros(tree.n_nodes)
-            np.add.at(wk, ft, (p_pair + 1.0) ** 4)
+            np.add.at(
+                wk, ft, translation_cost(p_pair, self.translation_backend)
+            )
             for dlev in range(1, tree.height):
                 lo, hi = tree.level_ranges[dlev]
                 ids = np.arange(lo, hi)
@@ -426,6 +463,7 @@ class ClusterPlan(CompiledPlan):
                     grad_wanted,
                     want_bounds,
                 )
+            mem += self._rot_cache.nbytes
 
         # ---- near field: dense blocks per target leaf -----------------
         self._near_blocks: list[_ClusterNearBlock] = []
@@ -451,6 +489,24 @@ class ClusterPlan(CompiledPlan):
         self.memory_bytes = int(mem)
         self.n_far_precomputed = sum(len(u.groups) for u in self._units)
         self.n_far_spilled = 0
+        if is_enabled():
+            # degree at/above which this plan's groups rotate: 0 when
+            # forced on, past the degree cap when forced off
+            cross = {
+                "rotation": 0,
+                "auto": ROTATION_CROSSOVER_P,
+                "dense": _M2L_MAX_P + 1,
+            }[self.translation_backend]
+            REGISTRY.gauge(
+                "plan_m2l_crossover_p",
+                "degree threshold selecting the rotation M2L backend in "
+                "the most recent cluster plan",
+            ).set(cross)
+            REGISTRY.gauge(
+                "plan_m2l_rotation_dirs",
+                "distinct quantized rotation directions cached by the "
+                "most recent cluster plan",
+            ).set(len(self._rot_cache))
         self.n_near_precomputed = sum(
             1 for b in self._near_blocks if b.K is not None
         )
@@ -530,6 +586,29 @@ class ClusterPlan(CompiledPlan):
             rows = self._srow[srcs]
             d = tree.center_exp[srcs] - tree.center_exp[tgts]
             utgt, seg = np.unique(tgts, return_index=True)
+            rot = None
+            want = resolve_backend(self.translation_backend, p)
+            if want == "rotation" and self.translation_backend == "auto":
+                # the rotation pipeline only pays when operators are
+                # shared: geometric-center trees repeat a few hundred
+                # directions, but abs_com-centered boxes give (nearly)
+                # one direction per pair, and building + caching an
+                # operator per pair costs more than it saves — gate on
+                # the dedup ratio before committing to any builds
+                rho = np.sqrt(np.einsum("ij,ij->i", d, d))
+                keys = direction_keys(d / rho[:, None])
+                if 4 * np.unique(keys, axis=0).shape[0] > keys.shape[0]:
+                    want = "dense"
+            if want == "rotation":
+                rho = np.sqrt(np.einsum("ij,ij->i", d, d))
+                ids = self._rot_cache.ids_for(d / rho[:, None], p)
+                perm = np.argsort(ids, kind="stable")
+                ids_sorted = ids[perm]
+                rbnd = np.flatnonzero(np.diff(ids_sorted)) + 1
+                rstarts = np.concatenate([[0], rbnd])
+                rstops = np.concatenate([rbnd, [ids_sorted.size]])
+                rot = (perm, rstarts, rstops, ids_sorted[rstarts], rho[perm])
+                mem += perm.nbytes + rho.nbytes + 3 * rstarts.nbytes
             bgeom = levels = cnt_t = None
             if want_bounds:
                 r = r_u[lo:hi]
@@ -543,6 +622,7 @@ class ClusterPlan(CompiledPlan):
                 p=p, rows=rows, sP=self._Psrc[srcs], d=d, seg=seg,
                 utgt=utgt, bgeom=bgeom, levels=levels, cnt_t=cnt_t,
                 c64_ok=_m2l_c64_safe(p, float(r_u[lo:hi].min())),
+                rot=rot,
             )
             unit.groups.append(g)
             mem += rows.nbytes + g.sP.nbytes + d.nbytes + seg.nbytes
@@ -687,6 +767,33 @@ class ClusterPlan(CompiledPlan):
     def n_units(self) -> int:
         return len(self._units) + len(self._near_blocks)
 
+    def _rotated_m2l(self, C, g: _FarGroup, dtype) -> np.ndarray:
+        """Rotation-accelerated group M2L (O((p+1)^3) per pair).
+
+        Pairs are pre-sorted into equal-direction runs at compile time
+        (``g.rot``); each run rotates its multipoles axial, applies the
+        m-conserving translation, and rotates back with one shared
+        operator.  Rows return in the group's target-sorted order so the
+        caller's ``add.reduceat`` segments apply unchanged.
+        """
+        perm, starts, stops, kids, rho = g.rot
+        p = g.p
+        with span(
+            "plan.m2l_rotate", pairs=int(perm.size), dirs=int(kids.size)
+        ):
+            Cs = np.ascontiguousarray(C[perm]).astype(dtype, copy=False)
+            out = np.empty((Cs.shape[0], ncoef(p)), dtype=dtype)
+            for lo, hi, kid in zip(starts, stops, kids):
+                ops = self._rot_cache.get(int(kid))
+                for clo in range(lo, hi, _M2L_CHUNK):
+                    chi = min(clo + _M2L_CHUNK, hi)
+                    Cr = rotate_packed(Cs[clo:chi], ops, p)
+                    La = axial_m2l(Cr, rho[clo:chi], p)
+                    out[clo:chi] = rotate_packed(La, ops, p, inverse=True)
+            Lp = np.empty_like(out)
+            Lp[perm] = out
+        return Lp
+
     def _far_unit_eval(self, ctx, u: _FarUnit, phi, grad, bound, stats):
         """Evaluate one far unit: batched M2L into box locals, L2L
         push-down, frozen L2P.  Writes only to ``[u.tlo, u.thi)``."""
@@ -694,12 +801,28 @@ class ClusterPlan(CompiledPlan):
         ncmax = ncoef(self._Pmax)
         L = np.zeros((tree.n_nodes, ncmax), dtype=np.complex128)
         bsc = np.zeros(tree.n_nodes) if bound is not None else None
+        pair_ctr = (
+            REGISTRY.counter(
+                "plan_m2l_pairs",
+                "box-pair translations applied, by kernel backend",
+                labelnames=("backend",),
+            )
+            if is_enabled()
+            else None
+        )
         with span("plan.m2l", pairs=u.n_pairs, groups=len(u.groups)):
             for g in u.groups:
                 nc = ncoef(g.p)
                 C = _gather_coeffs(ctx, g.sP, g.rows, nc)
                 dt = self._m2l_dtype if g.c64_ok else np.complex128
-                Lp = _batched_m2l_chunked(C, g.d, g.p, dt)
+                if g.rot is not None:
+                    Lp = self._rotated_m2l(C, g, dt)
+                else:
+                    Lp = _batched_m2l_chunked(C, g.d, g.p, dt)
+                if pair_ctr is not None:
+                    pair_ctr.labels(
+                        backend="rotation" if g.rot is not None else "dense"
+                    ).inc(g.d.shape[0])
                 L[g.utgt, :nc] += np.add.reduceat(Lp, g.seg, axis=0)
                 if bound is not None:
                     b = _gather_abs(ctx, g.sP, g.rows) * g.bgeom

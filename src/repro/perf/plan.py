@@ -321,9 +321,15 @@ class CompiledPlan:
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         rows_dtype=np.float64,
         tol: float | None = None,
+        translation_backend: str = "auto",
     ) -> None:
         if compute not in ("potential", "both"):
             raise ValueError(f"compute must be 'potential' or 'both', got {compute!r}")
+        if translation_backend not in ("dense", "rotation", "auto"):
+            raise ValueError(
+                "translation_backend must be 'dense', 'rotation' or 'auto', "
+                f"got {translation_backend!r}"
+            )
         rows_dtype = np.dtype(rows_dtype)
         if rows_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
             raise ValueError(
@@ -342,6 +348,10 @@ class CompiledPlan:
         self.memory_budget = int(memory_budget)
         self.rows_dtype = rows_dtype
         self.tol = None if tol is None else float(tol)
+        #: translation kernel selection ("dense", "rotation" or "auto");
+        #: consumed by the cluster plan's M2L pipeline — the target-major
+        #: plan stores no translations, so it only records the knob
+        self.translation_backend = translation_backend
         #: degree cap of per-pair selection — the VariableDegree policy's
         #: cap when that policy drives the plan; other policies' p_max
         #: attributes cap *their own* schedules, not pair selection
@@ -388,6 +398,7 @@ class CompiledPlan:
             far_spilled=int(self.n_far_spilled),
             tol=self.tol,
             predicted_ledger_max=self.predicted_ledger_max,
+            translation_backend=self.translation_backend,
             degree_hist={str(k): int(v) for k, v in sorted(degree_hist.items())},
         )
 
@@ -917,6 +928,7 @@ def compile_plan(
     rows_dtype=np.float64,
     n_units: int | None = None,
     tol: float | None = None,
+    translation_backend: str = "auto",
 ) -> CompiledPlan:
     """Freeze a treecode into a compiled evaluation plan.
 
@@ -948,6 +960,7 @@ def compile_plan(
             rows_dtype=rows_dtype,
             n_units=n_units,
             tol=tol,
+            translation_backend=translation_backend,
         )
     if mode != "target":
         raise ValueError(f"mode must be 'target' or 'cluster', got {mode!r}")
@@ -963,4 +976,5 @@ def compile_plan(
         memory_budget=memory_budget,
         rows_dtype=rows_dtype,
         tol=tol,
+        translation_backend=translation_backend,
     )
