@@ -112,6 +112,12 @@ class SingleLayerOperator:
         guarantee applies to densities with ``|sigma| <= 4 pi`` and
         scales linearly beyond.  Requires ``use_plan``; ignored until
         the plan compiles at the second matvec.
+    plan_cache:
+        Persistent plan-cache directory (see
+        :meth:`~repro.core.treecode.Treecode.compile_plan`).  ``None``
+        consults the ``REPRO_PLAN_CACHE`` environment variable; ``""``
+        disables caching.  A warm cache turns the second-matvec compile
+        into a zero-copy ``mmap`` load.
     geometry:
         A shared :class:`OperatorGeometry` for the same mesh/``n_gauss``,
         reusing its quadrature, octree and interaction lists.
@@ -135,6 +141,7 @@ class SingleLayerOperator:
         use_plan: bool = True,
         plan_budget: int | None = None,
         tol: float | None = None,
+        plan_cache: str | None = None,
         geometry: OperatorGeometry | None = None,
     ) -> None:
         if tol is not None and not use_plan:
@@ -179,6 +186,7 @@ class SingleLayerOperator:
         self.use_plan = bool(use_plan)
         self.plan_budget = plan_budget
         self.tol = None if tol is None else float(tol)
+        self.plan_cache = plan_cache
         self._plan = None
         self.stats = TreecodeStats()
         self.n_matvecs = 0
@@ -189,14 +197,23 @@ class SingleLayerOperator:
         return (n, n)
 
     def charges_for(self, sigma: np.ndarray) -> np.ndarray:
-        """Gauss-point charges for a nodal density ``sigma``."""
+        """Gauss-point charges for a nodal density ``sigma``.
+
+        ``sigma`` may be a ``(V, k)`` batch of stacked densities; the
+        result is then a ``(G, k)`` charge batch, column ``j`` exactly
+        the single-density charges for ``sigma[:, j]``.
+        """
         sigma = np.asarray(sigma, dtype=np.float64)
-        if sigma.shape != (self.mesh.n_vertices,):
+        V = self.mesh.n_vertices
+        if sigma.ndim not in (1, 2) or sigma.shape[0] != V:
             raise ValueError(
-                f"sigma must have shape ({self.mesh.n_vertices},), got {sigma.shape}"
+                f"sigma must have shape ({V},) or ({V}, k), got {sigma.shape}"
             )
-        dens = np.einsum("gc,gc->g", self.gp_shape, sigma[self.gp_nodes])
-        return self.weights * dens / _FOUR_PI
+        if sigma.ndim == 1:
+            dens = np.einsum("gc,gc->g", self.gp_shape, sigma[self.gp_nodes])
+            return self.weights * dens / _FOUR_PI
+        dens = np.einsum("gc,gck->gk", self.gp_shape, sigma[self.gp_nodes])
+        return self.weights[:, None] * dens / _FOUR_PI
 
     def matvec(self, sigma: np.ndarray) -> np.ndarray:
         """Apply the operator: potential at the vertices for density sigma.
@@ -204,28 +221,55 @@ class SingleLayerOperator:
         With ``use_plan`` (default), the second application compiles the
         frozen geometry into a plan; that and every later matvec is then
         pure linear algebra over the precomputed operators.
+
+        ``sigma`` may be a ``(V, k)`` batch of stacked densities; the
+        result is then ``(V, k)``.  A ``k > 1`` batch compiles the plan
+        immediately (a batch *is* repeated application, so the lazy
+        second-matvec policy would only delay the win) and executes all
+        columns in one batched pass; single columns keep today's
+        behavior bitwise.
         """
         with span("bem.matvec", matvec=self.n_matvecs):
             q = self.charges_for(sigma)
-            if self.use_plan and self._plan is None and self.n_matvecs >= 1:
+            batch = q.ndim == 2
+            if self.use_plan and self._plan is None and (
+                self.n_matvecs >= 1 or (batch and q.shape[1] > 1)
+            ):
                 self._plan = self.treecode.compile_plan(
                     targets=self.mesh.vertices,
                     lists=self._lists,
                     memory_budget=self.plan_budget,
                     tol=self.tol,
+                    cache_dir=self.plan_cache,
                 )
             if self._plan is not None:
                 res = self._plan.execute(q)
+                potential = res.potential
+                self.stats.merge(res.stats)
+            elif batch:
+                # the seed evaluate_lists path has no batched kernel:
+                # plan-less batches run column-by-column
+                potential = np.empty(
+                    (self.mesh.n_vertices, q.shape[1]), dtype=np.float64
+                )
+                for j in range(q.shape[1]):
+                    self.treecode.set_charges(q[:, j])
+                    res = self.treecode.evaluate_lists(
+                        self._lists, self.mesh.vertices, self_targets=False
+                    )
+                    potential[:, j] = res.potential
+                    self.stats.merge(res.stats)
             else:
                 self.treecode.set_charges(q)
                 res = self.treecode.evaluate_lists(
                     self._lists, self.mesh.vertices, self_targets=False
                 )
+                potential = res.potential
+                self.stats.merge(res.stats)
         if is_enabled():
             REGISTRY.counter("bem_matvecs", "boundary-operator applications").inc()
-        self.stats.merge(res.stats)
         self.n_matvecs += 1
-        return res.potential
+        return potential
 
     __call__ = matvec
 

@@ -50,9 +50,22 @@ component):
   ``rotation_speedup``).
 * ``m2l_backend_rel_diff`` — absolute ceiling ``1e-12``: the
   complex128 dense/rotation agreement contract.
+* ``batched_matvec_throughput`` — absolute floor ``2.0``,
+  history-independent: executing a ``k = 8`` right-hand-side batch
+  through one compiled plan (``benchmarks/bench_batch.py``, BENCH_7)
+  must deliver >= 2x the per-vector throughput of eight sequential
+  single-vector applications — the BLAS-3 batching contract.
+* ``plan_cache_warmstart_speedup`` — absolute floor ``10.0``,
+  history-independent: restoring a compiled plan from the
+  content-addressed store (``repro.perf.store``) as a zero-copy mmap
+  must be >= 10x faster than recompiling it from scratch.
 * ``*_s`` (timings) and everything else — informational: reported in
   the table, never gating (wall times on shared CI are too noisy to
   fail on directly; ``speedup`` is the noise-immune ratio).
+
+With ``compare``, the delta table is also appended to the file named
+by ``$GITHUB_STEP_SUMMARY`` when that variable is set, so CI runs
+surface it on the workflow summary page without extra plumbing.
 """
 
 from __future__ import annotations
@@ -96,6 +109,11 @@ _RULES: dict[str, tuple[str, float]] = {
     # the two backends must agree to 1e-12 in complex128
     "m2l_rotation_speedup": ("abs_min", 2.0),
     "m2l_backend_rel_diff": ("abs_max", 1e-12),
+    # multi-RHS batching and the persistent plan store (BENCH_7): one
+    # batched pass must beat sequential single-vector applications by
+    # 2x per vector, and a warm mmap load must beat a cold compile 10x
+    "batched_matvec_throughput": ("abs_min", 2.0),
+    "plan_cache_warmstart_speedup": ("abs_min", 10.0),
 }
 
 #: per-row fields worth tracking as series (present or not per bench)
@@ -121,6 +139,13 @@ _ROW_METRICS = (
     "m2l_backend_rel_diff",
     "dense_s",
     "rotation_s",
+    "batched_matvec_throughput",
+    "single_matvec_s",
+    "batched_s",
+    "plan_cache_warmstart_speedup",
+    "cold_compile_s",
+    "warm_load_s",
+    "plan_file_mb",
 )
 
 
@@ -146,7 +171,8 @@ def extract_series(report: dict) -> dict:
     Handles the BENCH_3 shape (``treecode`` rows + optional ``bem``
     block), the BENCH_4 shape (``treecode_cluster`` rows + optional
     ``variable_order`` block), the BENCH_5 shape (``supervisor``
-    block) and the BENCH_6 shape (``m2l_backends`` rows); unknown
+    block), the BENCH_6 shape (``m2l_backends`` rows) and the BENCH_7
+    shape (``batch`` rows + ``plan_cache`` block); unknown
     report layouts yield an empty dict rather than an error, so the
     ledger tolerates future benches until series are defined for them.
     """
@@ -166,6 +192,11 @@ def extract_series(report: dict) -> dict:
         _row_series(f"supervisor/n{sup.get('n')}", sup, series)
     for row in report.get("m2l_backends") or []:
         _row_series(f"m2l/p{row.get('p')}", row, series)
+    for row in report.get("batch") or []:
+        _row_series(f"batch/n{row.get('n')}k{row.get('k')}", row, series)
+    pc = report.get("plan_cache")
+    if pc:
+        _row_series(f"plan_cache/n{pc.get('n')}", pc, series)
     proj = report.get("projected_mb_50k")
     if isinstance(proj, (int, float)):
         series["cluster/projected_mb_50k"] = float(proj)
@@ -343,6 +374,12 @@ def bench_main(argv=None) -> int:
         with open(args.markdown, "w") as fh:
             fh.write(table + "\n")
         print(f"delta table written to {args.markdown}")
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        # CI surfaces this file on the workflow summary page; append
+        # (several compare steps may share one job)
+        with open(step_summary, "a") as fh:
+            fh.write("### bench compare\n\n" + table + "\n\n")
     if not ok:
         bad = [r["series"] for r in rows if r["status"] == "REGRESSION"]
         print(f"REGRESSION in: {', '.join(bad)}", file=sys.stderr)

@@ -485,6 +485,15 @@ def main(argv=None) -> int:
         "crossover; REPRO_M2L_CROSSOVER overrides)",
     )
     parser.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        default=None,
+        help="persistent content-addressed plan cache: compiled evaluation "
+        "plans are stored under DIR keyed by a digest of their inputs and "
+        "restored on later runs as zero-copy mmap loads (sets "
+        "REPRO_PLAN_CACHE for every engine in this run)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -600,6 +609,13 @@ def main(argv=None) -> int:
         # one knob for every executor: resolve_workers() reads this env
         # var in this process and in forked pool workers alike
         os.environ[ENV_WORKERS] = str(args.workers)
+
+    if args.plan_cache is not None:
+        from .perf.store import ENV_PLAN_CACHE
+
+        # like --workers: the env var is the wire format, read by
+        # resolve_cache_dir() wherever a plan compiles
+        os.environ[ENV_PLAN_CACHE] = args.plan_cache
 
     supervise = args.supervise or any(
         v is not None

@@ -661,6 +661,7 @@ class Treecode:
         n_units: int | None = None,
         tol: float | None = None,
         translation_backend: str = "auto",
+        cache_dir=None,
     ):
         """Freeze this treecode's geometry into a compiled plan for
         repeated matvecs.
@@ -700,6 +701,13 @@ class Treecode:
         at degrees >=
         :data:`~repro.parallel.partition.ROTATION_CROSSOVER_P`, dense
         below).  The two backends agree to ~1e-12 in complex128.
+
+        ``cache_dir`` enables the persistent content-addressed plan
+        store (:mod:`repro.perf.store`): matching plans are restored
+        zero-copy from disk instead of compiled, and fresh compiles are
+        written back.  ``None`` defers to the ``REPRO_PLAN_CACHE``
+        environment variable (the CLI's ``--plan-cache``); ``""``
+        force-disables caching.
         """
         from ..perf.plan import DEFAULT_MEMORY_BUDGET, compile_plan
         from .degree import VariableDegree
@@ -733,6 +741,7 @@ class Treecode:
             n_units=n_units,
             tol=tol,
             translation_backend=translation_backend,
+            cache_dir=cache_dir,
         )
 
     # convenience ------------------------------------------------------

@@ -29,7 +29,10 @@ def pairwise_potential(
     ----------
     targets : ``(t, 3)``
     sources : ``(s, 3)``
-    charges : ``(s,)``
+    charges : ``(s,)`` or ``(s, k)``
+        A 2-D charge array is a batch of ``k`` stacked charge vectors;
+        the result then has shape ``(t, k)`` with column ``j`` the
+        potential due to ``charges[:, j]``.
     exclude:
         Optional ``(t,)`` integer array: for target ``i``, the source
         index ``exclude[i]`` is skipped (self-interaction); ``-1`` skips
@@ -68,6 +71,12 @@ def direct_potential(
     If ``targets`` is ``None``, evaluates at the source points with
     self-interaction excluded; otherwise at the given targets with only
     exactly-coincident pairs excluded.
+
+    ``charges`` may be a ``(n, k)`` batch of stacked charge vectors
+    (see :func:`pairwise_potential`); the result is then ``(t, k)``,
+    column ``j`` the single-vector result for ``charges[:, j]`` up to
+    the BLAS GEMM-vs-GEMV reduction order (a ``(n, 1)`` batch is
+    bitwise).
     """
     points = np.asarray(points, dtype=np.float64)
     charges = np.asarray(charges, dtype=np.float64)
@@ -75,7 +84,7 @@ def direct_potential(
     tgt = points if self_eval else np.asarray(targets, dtype=np.float64)
     t = tgt.shape[0]
     s = points.shape[0]
-    out = np.empty(t, dtype=np.float64)
+    out = np.empty((t,) + charges.shape[1:], dtype=np.float64)
     step = max(1, _CHUNK_BUDGET // max(s, 1))
     for lo in range(0, t, step):
         hi = min(lo + step, t)

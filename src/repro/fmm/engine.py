@@ -81,7 +81,8 @@ class UniformFMM:
     Parameters
     ----------
     points, charges:
-        Sources, ``(n, 3)`` / ``(n,)``.
+        Sources, ``(n, 3)`` / ``(n,)``; charges may also be an
+        ``(n, k)`` batch of stacked vectors (see :meth:`set_charges`).
     level:
         Leaf level ``L`` (``8^L`` cells); ``None`` picks
         ``~log8(n / 8)`` so leaves hold a handful of particles.
@@ -115,6 +116,13 @@ class UniformFMM:
         O(offsets · p^4) to O(dirs · p^3).  ``"auto"`` rotates at
         degrees >=
         :data:`~repro.parallel.partition.ROTATION_CROSSOVER_P`.
+    plan_cache:
+        Persistent plan-cache directory (see :mod:`repro.perf.store`).
+        ``None`` consults the ``REPRO_PLAN_CACHE`` environment
+        variable; ``""`` disables.  When the plan would compile (second
+        :meth:`evaluate`), a warm cache restores the frozen geometry —
+        P2M/L2P rows, M2L operator matrices, rotation operators, near
+        pair lists — as a zero-copy ``mmap`` instead.
     """
 
     def __init__(
@@ -127,6 +135,7 @@ class UniformFMM:
         tol_p_max: int = 30,
         use_plan: bool = True,
         translation_backend: str = "auto",
+        plan_cache: str | None = None,
     ) -> None:
         self.use_plan = bool(use_plan)
         if translation_backend not in ("dense", "rotation", "auto"):
@@ -142,8 +151,17 @@ class UniformFMM:
         if points.ndim != 2 or points.shape[1] != 3:
             raise ValueError(f"points must be (n, 3), got {points.shape}")
         n = points.shape[0]
-        if charges.shape != (n,):
-            raise ValueError(f"charges must be ({n},), got {charges.shape}")
+        self._col_batch = charges.ndim == 2
+        if charges.ndim not in (1, 2) or charges.shape[0] != n:
+            raise ValueError(
+                f"charges must be ({n},) or ({n}, k), got {charges.shape}"
+            )
+        if self._col_batch and charges.shape[1] == 0:
+            raise ValueError("charge batch must have at least one column")
+        if self._col_batch and charges.shape[1] == 1:
+            # single-column batch: run the 1-D path (bitwise-identical to
+            # a plain vector); evaluate() restores the column axis
+            charges = charges[:, 0]
         if n == 0:
             raise ValueError("need at least one particle")
 
@@ -189,6 +207,7 @@ class UniformFMM:
         # rows, near pair lists) — built lazily at the second evaluate()
         self._plan = None
         self._n_evals = 0
+        self.plan_cache = plan_cache
         self.plan_memory_bytes = 0
         self.plan_compile_time = 0.0
 
@@ -198,12 +217,47 @@ class UniformFMM:
         The geometry operators depend on positions and degrees only, so
         repeated ``set_charges`` + :meth:`evaluate` pays just the linear
         algebra — the FMM analogue of the treecode's compiled matvec.
+
+        ``charges`` may be an ``(n, k)`` batch of stacked charge
+        vectors: :meth:`evaluate` then returns an ``(n, k)`` potential
+        with every translation sweep folded over the batch (one BLAS-3
+        pass per operator group), and ``k=1`` stays bitwise-identical to
+        the plain-vector path.
         """
         charges = np.ascontiguousarray(charges, dtype=np.float64)
         n = self.points.shape[0]
-        if charges.shape != (n,):
-            raise ValueError(f"charges must be ({n},), got {charges.shape}")
+        self._col_batch = charges.ndim == 2
+        if charges.ndim not in (1, 2) or charges.shape[0] != n:
+            raise ValueError(
+                f"charges must be ({n},) or ({n}, k), got {charges.shape}"
+            )
+        if self._col_batch and charges.shape[1] == 0:
+            raise ValueError("charge batch must have at least one column")
+        if self._col_batch and charges.shape[1] == 1:
+            charges = charges[:, 0]
         self.charges = charges[self.perm]
+
+    def _abs_charges(self) -> np.ndarray:
+        """Per-particle absolute charge, reduced over batch columns.
+
+        For an ``(n, k)`` batch the column-wise maximum is used: cluster
+        masses built from it upper-bound every individual column's, so a
+        degree schedule derived from it keeps the Theorem-1 guarantee
+        for each column simultaneously.
+        """
+        a = np.abs(self.charges)
+        return a if a.ndim == 1 else a.max(axis=1)
+
+    @staticmethod
+    def _kfold(X: np.ndarray, fn):
+        """Apply a row-batched ``(B, nc) -> (B, nc')`` translation kernel
+        to plain or ``(B, k, nc)`` batched coefficients by folding the
+        batch axis into the rows (shared shifts broadcast unchanged)."""
+        if X.ndim == 2:
+            return fn(X)
+        B, k = X.shape[0], X.shape[1]
+        out = fn(X.reshape(B * k, X.shape[2]))
+        return out.reshape(B, k, out.shape[1])
 
     # ------------------------------------------------------------------
     def _rot_id(self, d: np.ndarray, p: int) -> tuple[int, float]:
@@ -253,7 +307,7 @@ class UniformFMM:
             raise ValueError("p0 must be >= 0")
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
-        absq = np.abs(self.charges)
+        absq = self._abs_charges()
         cell_abs = np.bincount(self.cell_of, weights=absq, minlength=8**self.L)
         med = {}
         ids = np.arange(8**self.L)
@@ -300,7 +354,7 @@ class UniformFMM:
         a = np.sqrt(3.0) / 2.0 * h
         r = 2.0 * h
         cell_abs = np.bincount(
-            self.cell_of, weights=np.abs(self.charges), minlength=8**L
+            self.cell_of, weights=self._abs_charges(), minlength=8**L
         )
         A_leaf = float(cell_abs.max())
         if A_leaf <= 0.0:
@@ -329,9 +383,52 @@ class UniformFMM:
           degree; the downward leaf pass is one row-wise contraction.
         * **Near pair lists**: the (target cell, source cell) pairs per
           neighbor offset, in the direct path's traversal order.
+
+        With a plan cache (``plan_cache`` / ``REPRO_PLAN_CACHE``), the
+        frozen geometry is looked up by a content digest over the
+        Morton-sorted points, the degree schedule and the grid/backend
+        configuration; a hit restores the plan *and* the rotation
+        operator cache it references as zero-copy mmap views.
         """
         if self._plan is not None:
             return self._plan
+        from ..perf.store import cached_plan, content_digest, resolve_cache_dir
+
+        cache = resolve_cache_dir(self.plan_cache)
+        if cache is None:
+            self._plan = self._compile_plan()
+            return self._plan
+        digest = content_digest(
+            {
+                "kind": "fmm",
+                "level": int(self.L),
+                "degrees": [int(p) for p in self.degrees],
+                "edge": float(self.edge),
+                "lo": [float(v) for v in self.lo],
+                "translation_backend": self.translation_backend,
+            },
+            [self.points],
+        )
+        bundle = cached_plan(
+            cache,
+            digest,
+            lambda: {"plan": self._compile_plan(), "rot": self._rot_cache},
+            kind="fmm",
+        )
+        # the plan's rotation group ids index the cache it was saved
+        # with — adopt it (id-stably rebuilt on a warm load)
+        self._rot_cache = bundle["rot"]
+        self._plan = bundle["plan"]
+        if self.plan_memory_bytes == 0:  # warm load: report the mapped size
+            try:
+                self.plan_memory_bytes = int(
+                    (cache / f"{digest}.plan").stat().st_size
+                )
+            except OSError:
+                pass
+        return self._plan
+
+    def _compile_plan(self) -> dict:
         with stopwatch("plan.compile", engine="fmm", level=self.L) as sw:
             L, degs = self.L, self.degrees
             p_store = max(degs[2:]) if L >= 2 else degs[-1]
@@ -463,11 +560,17 @@ class UniformFMM:
     # ------------------------------------------------------------------
     def evaluate(self) -> np.ndarray:
         """Potential at every source particle (original order),
-        self-interaction excluded."""
+        self-interaction excluded.
+
+        With an ``(n, k)`` charge batch (see :meth:`set_charges`) the
+        result is ``(n, k)``: column ``j`` is the potential due to
+        ``charges[:, j]``, with every translation group applied once
+        over the folded batch."""
         L = self.L
         degs = self.degrees
         p_store = max(degs[2:]) if L >= 2 else degs[-1]
         nc_store = ncoef(p_store)
+        kdim = self.charges.shape[1:]  # () for a vector, (k,) for a batch
         obs_on = is_enabled()
         plan = None
         if self.use_plan and (self._plan is not None or self._n_evals >= 1):
@@ -480,23 +583,38 @@ class UniformFMM:
         # ---- upward: P2M at leaves, then M2M ----
         sw = stopwatch("fmm.upward", level=L).__enter__()
         centers_L = self._cell_centers(L)
-        M = {L: np.zeros((8**L, nc_store), dtype=np.complex128)}
+        M = {L: np.zeros((8**L,) + kdim + (nc_store,), dtype=np.complex128)}
         if plan is not None:
             occupied = plan["occupied"]
-            M[L][occupied] = np.add.reduceat(
-                self.charges[:, None] * plan["G"], plan["starts"], axis=0
-            )
+            if self.charges.ndim == 1:
+                M[L][occupied] = np.add.reduceat(
+                    self.charges[:, None] * plan["G"], plan["starts"], axis=0
+                )
+            else:
+                M[L][occupied] = np.add.reduceat(
+                    self.charges[:, :, None] * plan["G"][:, None, :],
+                    plan["starts"],
+                    axis=0,
+                )
         else:
             occupied = np.nonzero(self.cell_end > self.cell_start)[0]
             for c in occupied:
                 s, e = self.cell_start[c], self.cell_end[c]
                 rel = self.points[s:e] - centers_L[c]
-                M[L][c] = p2m_terms(rel, self.charges[s:e], p_store).sum(axis=0)
+                if self.charges.ndim == 1:
+                    M[L][c] = p2m_terms(rel, self.charges[s:e], p_store).sum(axis=0)
+                else:
+                    M[L][c] = np.stack(
+                        [
+                            p2m_terms(rel, self.charges[s:e, j], p_store).sum(axis=0)
+                            for j in range(self.charges.shape[1])
+                        ]
+                    )
         rot_up = self._use_rotation(p_store)
         for l in range(L - 1, 1, -1):
             child_centers = self._cell_centers(l + 1)
             parent_centers = self._cell_centers(l)
-            Ml = np.zeros((8**l, nc_store), dtype=np.complex128)
+            Ml = np.zeros((8**l,) + kdim + (nc_store,), dtype=np.complex128)
             child_ids = np.arange(8 ** (l + 1))
             parent_ids = child_ids >> 3
             # group children by their octant: each octant shares one shift
@@ -506,18 +624,26 @@ class UniformFMM:
                 shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
                 if rot_up:
                     kid, rho = self._rot_id(shift[0], p_store)
-                    Ml[par] += self._apply_rotated(
-                        M[l + 1][sel], kid, rho, p_store, axial_m2m
+                    Ml[par] += self._kfold(
+                        M[l + 1][sel],
+                        lambda X: self._apply_rotated(
+                            X, kid, rho, p_store, axial_m2m
+                        ),
                     )
                 else:
-                    Ml[par] += m2m(M[l + 1][sel], shift, p_store)
+                    Ml[par] += self._kfold(
+                        M[l + 1][sel], lambda X: m2m(X, shift, p_store)
+                    )
             M[l] = Ml
         sw.__exit__(None, None, None)
         self.stats.times["upward"] = sw.elapsed
 
         # ---- M2L at every level (V-lists grouped by offset) ----
         sw = stopwatch("fmm.m2l").__enter__()
-        Llocal = {l: np.zeros((8**l, ncoef(degs[l])), dtype=np.complex128) for l in range(2, L + 1)}
+        Llocal = {
+            l: np.zeros((8**l,) + kdim + (ncoef(degs[l]),), dtype=np.complex128)
+            for l in range(2, L + 1)
+        }
         if plan is not None:
             for l in range(2, L + 1):
                 p = degs[l]
@@ -525,10 +651,13 @@ class UniformFMM:
                 Ll = Llocal[l]
                 Ml = M[l]
                 for kind, tgt, src, a, b in plan["m2l"][l]:
-                    X = Ml[src][:, :nc_p]
+                    X = Ml[src][..., :nc_p]
                     if kind == "rot":
-                        Ll[tgt] += self._apply_rotated(X, a, b, p, axial_m2l)
+                        Ll[tgt] += self._kfold(
+                            X, lambda C: self._apply_rotated(C, a, b, p, axial_m2l)
+                        )
                     else:
+                        # matmul broadcasts over the batch axis natively
                         Ll[tgt] += X.real @ a + X.imag @ b
                     self.stats.n_m2l += tgt.size
                     self.stats.n_terms_m2l += tgt.size * term_count(p)
@@ -552,25 +681,35 @@ class UniformFMM:
                 shift = (child_centers[sel[0]] - parent_centers[par[0]])[None, :]
                 if rot_down:
                     kid, rho = self._rot_id(shift[0], p_par)
-                    shifted = self._apply_rotated(
-                        Llocal[l][par], kid, rho, p_par, axial_l2l
+                    shifted = self._kfold(
+                        Llocal[l][par],
+                        lambda X: self._apply_rotated(
+                            X, kid, rho, p_par, axial_l2l
+                        ),
                     )
                 else:
-                    shifted = l2l(Llocal[l][par], shift, p_par)
-                Llocal[l + 1][sel] += shifted[:, : ncoef(p_child)]
+                    shifted = self._kfold(
+                        Llocal[l][par], lambda X: l2l(X, shift, p_par)
+                    )
+                Llocal[l + 1][sel] += shifted[..., : ncoef(p_child)]
         sw.__exit__(None, None, None)
         self.stats.times["l2l"] = sw.elapsed
 
         # ---- leaf: L2P + near field ----
         sw = stopwatch("fmm.near").__enter__()
         n = self.points.shape[0]
-        phi = np.zeros(n, dtype=np.float64)
+        phi = np.zeros((n,) + kdim, dtype=np.float64)
         pL = degs[L]
         if plan is not None:
             Lgather = Llocal[L][self.cell_of]
-            phi += np.einsum("tc,tc->t", plan["R"].real, Lgather.real) - np.einsum(
-                "tc,tc->t", plan["R"].imag, Lgather.imag
-            )
+            if Lgather.ndim == 2:
+                phi += np.einsum(
+                    "tc,tc->t", plan["R"].real, Lgather.real
+                ) - np.einsum("tc,tc->t", plan["R"].imag, Lgather.imag)
+            else:
+                phi += np.einsum(
+                    "tc,tkc->tk", plan["R"].real, Lgather.real
+                ) - np.einsum("tc,tkc->tk", plan["R"].imag, Lgather.imag)
             for tcells, scells in plan["near"]:
                 for tc, sc in zip(tcells, scells):
                     ts, te = self.cell_start[tc], self.cell_end[tc]
@@ -586,7 +725,14 @@ class UniformFMM:
             for c in occupied:
                 s, e = self.cell_start[c], self.cell_end[c]
                 rel = self.points[s:e] - centers_L[c]
-                phi[s:e] += l2p(Llocal[L][c], rel, pL)
+                Lc = Llocal[L][c]
+                if Lc.ndim == 1:
+                    phi[s:e] += l2p(Lc, rel, pL)
+                else:
+                    phi[s:e] += np.stack(
+                        [l2p(Lc[j], rel, pL) for j in range(Lc.shape[0])],
+                        axis=1,
+                    )
             self._near_direct(phi, occupied)
         sw.__exit__(None, None, None)
         self.stats.times["near"] = sw.elapsed
@@ -635,15 +781,18 @@ class UniformFMM:
                             src_z[valid].astype(np.uint64),
                         ).astype(np.int64)
                         d = np.array([[dx * h, dy * h, dz * h]])
+                        X = M[l][src][..., : ncoef(p)]
                         if use_rot:
                             kid, rho = self._rot_id(d[0], p)
-                            Llocal[l][tgt] += self._apply_rotated(
-                                M[l][src][:, : ncoef(p)], kid, rho, p,
-                                axial_m2l,
+                            Llocal[l][tgt] += self._kfold(
+                                X,
+                                lambda C: self._apply_rotated(
+                                    C, kid, rho, p, axial_m2l
+                                ),
                             )
                         else:
-                            Llocal[l][tgt] += m2l(
-                                M[l][src][:, : ncoef(p)], d, p, p
+                            Llocal[l][tgt] += self._kfold(
+                                X, lambda C: m2l(C, d, p, p)
                             )
                         self.stats.n_m2l += tgt.size
                         self.stats.n_terms_m2l += tgt.size * term_count(p)
@@ -704,10 +853,12 @@ class UniformFMM:
             ).inc(self.stats.n_pp_pairs - pp_before)
 
         outer.__exit__(None, None, None)
-        out = np.empty(n, dtype=np.float64)
+        out = np.empty(phi.shape, dtype=np.float64)
         out[self.perm] = phi
         # fault-injection site + guard: a corrupted FMM potential must
         # fail loudly at the engine boundary, never reach an experiment
         out = maybe_corrupt("fmm.potential", out)
         check_finite("fmm.potential", out, context="FMM output potential")
+        if self._col_batch and out.ndim == 1:
+            out = out[:, None]  # (n, 1) request ran the bitwise 1-D path
         return out

@@ -619,7 +619,7 @@ def _execute_plan_units_process(plan, ctx, q_sorted, n_workers, policy, recovery
         for shm in segments:
             release_segment(shm)
 
-    phi = np.zeros(plan.n_targets, dtype=np.float64)
+    phi = np.zeros((plan.n_targets,) + q_sorted.shape[1:], dtype=np.float64)
     for i in range(n_units):  # deterministic merge order
         tids, vals = results[i]
         scatter_add(phi, tids, vals)
@@ -788,7 +788,7 @@ def _execute_plan_units_supervised(
         for shm in segments:
             release_segment(shm)
 
-    phi = np.zeros(plan.n_targets, dtype=np.float64)
+    phi = np.zeros((plan.n_targets,) + q_sorted.shape[1:], dtype=np.float64)
     for i in range(n_units):  # deterministic merge order
         tids, vals = results[i]
         scatter_add(phi, tids, vals)
@@ -814,7 +814,11 @@ def evaluate_plan_parallel(
     bitwise-reproducible across worker counts and backends and equals
     ``plan.execute(charges).potential`` exactly.  Potential only —
     gradient/bound plans still execute, contributing just their
-    potential parts.
+    potential parts.  ``charges`` may be an ``(n, k)`` batch of stacked
+    charge vectors (see :meth:`~repro.perf.plan.CompiledPlan.execute`);
+    the potential is then ``(n, k)``, every kernel runs once over the
+    whole batch, and ``k=1`` remains bitwise-identical to the plain
+    vector path.
 
     ``backend="thread"`` (default) uses a thread pool — NumPy kernels
     release the GIL, so threads overlap on multi-core hosts with zero
@@ -850,6 +854,20 @@ def evaluate_plan_parallel(
     """
     if backend not in ("thread", "process"):
         raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+    charges = np.asarray(charges, dtype=np.float64)
+    if charges.ndim == 2 and charges.shape[1] == 1:
+        # single-column batches run the 1-D path (bitwise-identical to a
+        # plain vector) and regain the column axis on the way out
+        res = evaluate_plan_parallel(
+            plan,
+            charges[:, 0],
+            n_threads=n_threads,
+            retry=retry,
+            backend=backend,
+            supervise=supervise,
+        )
+        res.potential = res.potential[:, None]
+        return res
     n_threads = resolve_workers(n_threads)
     policy = RetryPolicy() if retry is None else retry
     sup = _resolve_supervision(supervise)
@@ -887,7 +905,7 @@ def evaluate_plan_parallel(
                 _execute_plan_units_serial_suppressed(
                     plan, ctx, q_sorted, recovery, results
                 )
-            phi = np.zeros(plan.n_targets, dtype=np.float64)
+            phi = np.zeros((plan.n_targets,) + q_sorted.shape[1:], dtype=np.float64)
             for i in range(n_units):  # deterministic merge order
                 tids, vals = results[i]
                 scatter_add(phi, tids, vals)
@@ -927,7 +945,7 @@ def evaluate_plan_parallel(
                     ).observe(sp.elapsed)
                 return tids, vals
 
-            phi = np.zeros(plan.n_targets, dtype=np.float64)
+            phi = np.zeros((plan.n_targets,) + q_sorted.shape[1:], dtype=np.float64)
             if n_threads == 1:
                 results = map(run_unit, range(n_units))
                 for tids, vals in results:

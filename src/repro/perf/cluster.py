@@ -147,47 +147,12 @@ def _pack_idx(p: int) -> tuple[np.ndarray, np.ndarray]:
     return np.asarray(ns), np.asarray(ms)
 
 
-def batched_m2l(
-    C: np.ndarray, d: np.ndarray, p: int, dtype=np.complex64
-) -> np.ndarray:
-    """Batched same-degree M2L: ``(B, ncoef(p))`` multipoles × ``(B, 3)``
-    displacements → ``(B, ncoef(p))`` locals.
-
-    Numerically equivalent to :func:`repro.multipole.translations.m2l`
-    with ``p_src = p_loc = p`` (to ~1e-7 relative in the default
-    ``complex64`` path, exact structure in ``complex128``), but an order
-    of magnitude faster on large batches: batch-last memory layout, the
-    packed↔full grid conversions done with index arrays instead of
-    per-order loops, and the translation accumulated in reduced
-    precision.
-    """
-    B = C.shape[0]
+def _singular_grid(d_u: np.ndarray, p: int, dtype) -> np.ndarray:
+    """Scaled singular grid ``(2p+1, 4p+1, len(d_u))`` of displacement
+    rows ``d_u``, batch-last — the translation operator half of
+    :func:`batched_m2l`, a pure elementwise function of each row."""
     ptot = 2 * p
     rdt = np.float32 if dtype == np.complex64 else np.float64
-    # Uniform grids emit many identical displacement rows; the singular
-    # grid (by far the largest per-row build cost) is a pure elementwise
-    # function of its row, so computing it once per distinct row and
-    # gathering is bitwise-identical to the direct build.
-    d_u, inv = d, None
-    if B >= 16:
-        uq, uinv = np.unique(d, axis=0, return_inverse=True)
-        if 2 * uq.shape[0] <= B:
-            d_u, inv = uq, uinv
-    ns, ms = _pack_idx(p)
-    # rescaled multipole grid, batch-last, with conjugate mirror
-    scale_s = (
-        (_iphase_grid(p, -1) / _sq_grid(p))
-        * ((-1.0) ** np.arange(p + 1))[:, None]
-        * _valid_mask(p)
-    )
-    Ct = np.ascontiguousarray(C.T).astype(dtype)
-    mhat = np.zeros((p + 1, 2 * p + 1, B), dtype=dtype)
-    mhat[ns, p + ms] = Ct * scale_s[ns, p + ms].astype(dtype)[:, None]
-    neg = ms > 0
-    mhat[ns[neg], p - ms[neg]] = (
-        np.conj(Ct[neg]) * scale_s[ns[neg], p - ms[neg]].astype(dtype)[:, None]
-    )
-    # scaled singular grid of the (deduplicated) displacements, batch-last
     rho, ct, phi = cart_to_sph(d_u)
     Yt = np.ascontiguousarray(sph_harmonics(ct, phi, ptot).T).astype(dtype)
     npow = (
@@ -205,31 +170,115 @@ def batched_m2l(
         * scale_t[nt[negt], ptot - mt[negt]].astype(dtype)[:, None]
         * npow[nt[negt]]
     )
+    return shat
+
+
+def _dedup_rows(d: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+    """Displacement dedup: ``(unique_rows, inverse)`` when at least half
+    the rows are duplicates, ``(d, None)`` otherwise."""
+    if d.shape[0] >= 16:
+        uq, uinv = np.unique(d, axis=0, return_inverse=True)
+        if 2 * uq.shape[0] <= d.shape[0]:
+            return uq, uinv
+    return d, None
+
+
+def batched_m2l(
+    C: np.ndarray, d: np.ndarray, p: int, dtype=np.complex64, grid=None
+) -> np.ndarray:
+    """Batched same-degree M2L: ``(B, ncoef(p))`` multipoles × ``(B, 3)``
+    displacements → ``(B, ncoef(p))`` locals, or ``(B, k, ncoef(p))``
+    multi-RHS multipoles → ``(B, k, ncoef(p))`` locals.
+
+    Numerically equivalent to :func:`repro.multipole.translations.m2l`
+    with ``p_src = p_loc = p`` (to ~1e-7 relative in the default
+    ``complex64`` path, exact structure in ``complex128``), but an order
+    of magnitude faster on large batches: batch-last memory layout, the
+    packed↔full grid conversions done with index arrays instead of
+    per-order loops, and the translation accumulated in reduced
+    precision.  A multi-RHS batch shares each pair's singular grid (and
+    the displacement dedup/gather) across its ``k`` columns — the
+    per-pair translation cost is the only part that scales with ``k``.
+
+    ``grid`` optionally supplies a precomputed ``(shat_u, inv)`` pair —
+    a :func:`_singular_grid` of deduplicated rows plus the inverse map
+    selecting this call's rows (``inv=None``: ``shat_u`` is already
+    row-aligned with ``d``). Chunked callers build the grid once per
+    group; the gathered grid is bitwise the directly-built one.
+    """
+    kb = None
+    if C.ndim == 3:
+        kb = C.shape[1]
+        C = C.reshape(C.shape[0] * kb, C.shape[2])
+    B = d.shape[0]  # pairs: sizes the singular grid and its dedup
+    R = C.shape[0]  # coefficient rows (= B * kb when batched)
+    ptot = 2 * p
+    # Uniform grids emit many identical displacement rows; the singular
+    # grid (by far the largest per-row build cost) is a pure elementwise
+    # function of its row, so computing it once per distinct row and
+    # gathering is bitwise-identical to the direct build.
+    if grid is None:
+        d_u, inv = _dedup_rows(d)
+        shat = _singular_grid(d_u, p, dtype)
+    else:
+        shat, inv = grid
     if inv is not None:
         shat = np.ascontiguousarray(shat[:, :, inv])
+    ns, ms = _pack_idx(p)
+    # rescaled multipole grid, batch-last, with conjugate mirror
+    scale_s = (
+        (_iphase_grid(p, -1) / _sq_grid(p))
+        * ((-1.0) ** np.arange(p + 1))[:, None]
+        * _valid_mask(p)
+    )
+    Ct = np.ascontiguousarray(C.T).astype(dtype)
+    mhat = np.zeros((p + 1, 2 * p + 1, R), dtype=dtype)
+    mhat[ns, p + ms] = Ct * scale_s[ns, p + ms].astype(dtype)[:, None]
+    neg = ms > 0
+    mhat[ns[neg], p - ms[neg]] = (
+        np.conj(Ct[neg]) * scale_s[ns[neg], p - ms[neg]].astype(dtype)[:, None]
+    )
     # translation: correlation of the two grids, batch-last.  Only the
     # m >= 0 half of the local grid is accumulated — the packed layout
     # never reads m < 0 (conjugate symmetry), which halves the work.
-    Lhat = np.zeros((p + 1, p + 1, B), dtype=dtype)
+    # Multi-RHS batches broadcast the pair-indexed singular slice over
+    # the trailing column axis, so each element sees the identical
+    # scalar multiply-add as the single-vector path (bitwise for k=1).
+    Lhat = np.zeros((p + 1, p + 1, R), dtype=dtype)
+    mh = mhat if kb is None else mhat.reshape(p + 1, 2 * p + 1, B, kb)
+    Lh = Lhat if kb is None else Lhat.reshape(p + 1, p + 1, B, kb)
     for n in range(p + 1):
         for m in range(-n, n + 1):
-            a = mhat[n, m + p]
+            a = mh[n, m + p]
             sl = shat[n : n + p + 1, m - p + ptot : m + ptot + 1][:, ::-1]
-            Lhat += a[None, None, :] * sl
+            Lh += a[None, None] * (sl if kb is None else sl[..., None])
     scale_l = (_iphase_grid(p, -1) / _sq_grid(p)) * _valid_mask(p)
     out = Lhat[ns, ms] * scale_l[ns, p + ms].astype(dtype)[:, None]
-    return out.T
+    out = out.T
+    return out if kb is None else out.reshape(B, kb, -1)
 
 
 def _batched_m2l_chunked(C, d, p, dtype) -> np.ndarray:
-    """Memory-bounded wrapper around :func:`batched_m2l`."""
+    """Memory-bounded wrapper around :func:`batched_m2l`.
+
+    Batch chunks are sized to ``_M2L_CHUNK / 2`` coefficient *rows*
+    (``_M2L_CHUNK / (2k)`` pairs) — measured fastest on the correlation
+    loop's working set. When the group needs several chunks and its
+    displacements dedup, the grid is built once here and every chunk
+    gathers its rows — bitwise-identical to per-chunk builds (the grid
+    is a pure per-row function)."""
     B = C.shape[0]
-    if B <= _M2L_CHUNK:
+    kb = C.shape[1] if C.ndim == 3 else None
+    chunk = _M2L_CHUNK if kb is None else max(1, _M2L_CHUNK // (2 * kb))
+    if B <= chunk:
         return batched_m2l(C, d, p, dtype)
-    out = np.empty((B, ncoef(p)), dtype=dtype)
-    for lo in range(0, B, _M2L_CHUNK):
-        hi = min(lo + _M2L_CHUNK, B)
-        out[lo:hi] = batched_m2l(C[lo:hi], d[lo:hi], p, dtype)
+    out = np.empty(C.shape[:-1] + (ncoef(p),), dtype=dtype)
+    d_u, inv = _dedup_rows(d)
+    shat_u = _singular_grid(d_u, p, dtype) if inv is not None else None
+    for lo in range(0, B, chunk):
+        hi = min(lo + chunk, B)
+        grid = None if shat_u is None else (shat_u, inv[lo:hi])
+        out[lo:hi] = batched_m2l(C[lo:hi], d[lo:hi], p, dtype, grid=grid)
     return out
 
 
@@ -775,9 +824,21 @@ class ClusterPlan(CompiledPlan):
         m-conserving translation, and rotates back with one shared
         operator.  Rows return in the group's target-sorted order so the
         caller's ``add.reduceat`` segments apply unchanged.
+
+        Batched ``(B, k, nc)`` coefficients fold the batch axis into the
+        row axis — each pair expands to ``k`` consecutive rows, which
+        preserves the equal-direction runs, so every rotation/axial
+        kernel still sees one contiguous row block per operator.
         """
         perm, starts, stops, kids, rho = g.rot
         p = g.p
+        kb = None
+        if C.ndim == 3:
+            kb = C.shape[1]
+            C = C.reshape(C.shape[0] * kb, C.shape[2])
+            perm = (perm[:, None] * kb + np.arange(kb)).ravel()
+            rho = np.repeat(rho, kb)
+            starts, stops = starts * kb, stops * kb
         with span(
             "plan.m2l_rotate", pairs=int(perm.size), dirs=int(kids.size)
         ):
@@ -792,6 +853,8 @@ class ClusterPlan(CompiledPlan):
                     out[clo:chi] = rotate_packed(La, ops, p, inverse=True)
             Lp = np.empty_like(out)
             Lp[perm] = out
+        if kb is not None:
+            Lp = Lp.reshape(-1, kb, ncoef(p))
         return Lp
 
     def _far_unit_eval(self, ctx, u: _FarUnit, phi, grad, bound, stats):
@@ -799,8 +862,17 @@ class ClusterPlan(CompiledPlan):
         push-down, frozen L2P.  Writes only to ``[u.tlo, u.thi)``."""
         tree = self.tc.tree
         ncmax = ncoef(self._Pmax)
-        L = np.zeros((tree.n_nodes, ncmax), dtype=np.complex128)
-        bsc = np.zeros(tree.n_nodes) if bound is not None else None
+        first = next(iter(ctx.values()), None)
+        kb = (
+            first[0].shape[1]
+            if first is not None and first[0].ndim == 3
+            else None
+        )
+        lshape = (tree.n_nodes, ncmax) if kb is None else (tree.n_nodes, kb, ncmax)
+        L = np.zeros(lshape, dtype=np.complex128)
+        bsc = None
+        if bound is not None:
+            bsc = np.zeros(tree.n_nodes if kb is None else (tree.n_nodes, kb))
         pair_ctr = (
             REGISTRY.counter(
                 "plan_m2l_pairs",
@@ -823,12 +895,14 @@ class ClusterPlan(CompiledPlan):
                     pair_ctr.labels(
                         backend="rotation" if g.rot is not None else "dense"
                     ).inc(g.d.shape[0])
-                L[g.utgt, :nc] += np.add.reduceat(Lp, g.seg, axis=0)
+                L[g.utgt, ..., :nc] += np.add.reduceat(Lp, g.seg, axis=0)
                 if bound is not None:
-                    b = _gather_abs(ctx, g.sP, g.rows) * g.bgeom
+                    Ab = _gather_abs(ctx, g.sP, g.rows)
+                    b = Ab * (g.bgeom if kb is None else g.bgeom[:, None])
                     bsc[g.utgt] += np.add.reduceat(b, g.seg)
                     if stats is not None:
-                        lsum = np.bincount(g.levels, weights=b * g.cnt_t)
+                        bm = b if kb is None else b.sum(axis=1)
+                        lsum = np.bincount(g.levels, weights=bm * g.cnt_t)
                         for Lv, s_ in enumerate(lsum):
                             if s_:
                                 stats.bound_by_level[Lv] = (
@@ -837,16 +911,28 @@ class ClusterPlan(CompiledPlan):
                                 )
         with span("plan.l2l", levels=len(u.push_chi)):
             for par, chi, sh in zip(u.push_par, u.push_chi, u.push_shift):
-                L[chi] += l2l(L[par], sh, self._Pmax)
+                if kb is None:
+                    L[chi] += l2l(L[par], sh, self._Pmax)
+                else:  # fold the batch into the rows, shifts repeated
+                    L[chi] += l2l(
+                        L[par].reshape(-1, ncmax),
+                        np.repeat(sh, kb, axis=0),
+                        self._Pmax,
+                    ).reshape(-1, kb, ncmax)
                 if bsc is not None:
                     bsc[chi] += bsc[par]
         with span("plan.l2p", groups=len(u.l2p)):
             for gl in u.l2p:
                 nc = ncoef(gl.p)
-                Lg = L[:, :nc][gl.leaf_of]
-                vals = np.einsum("tc,tc->t", gl.Ure, Lg.real) - np.einsum(
-                    "tc,tc->t", gl.Uim, Lg.imag
-                )
+                Lg = L[..., :nc][gl.leaf_of]
+                if kb is None:
+                    vals = np.einsum("tc,tc->t", gl.Ure, Lg.real) - np.einsum(
+                        "tc,tc->t", gl.Uim, Lg.imag
+                    )
+                else:
+                    vals = np.einsum(
+                        "tc,tkc->tk", gl.Ure, Lg.real
+                    ) - np.einsum("tc,tkc->tk", gl.Uim, Lg.imag)
                 phi[gl.tidx] += vals
                 if grad is not None:
                     A, Bm, D, st, ctheta, cp, sp = gl.grad
@@ -886,7 +972,7 @@ class ClusterPlan(CompiledPlan):
         nfu = len(self._units)
         if i < nfu:
             u = self._units[i]
-            phi = np.zeros(self.n_targets)
+            phi = np.zeros((self.n_targets,) + q_sorted.shape[1:])
             self._far_unit_eval(ctx, u, phi, None, None, None)
             return np.arange(u.tlo, u.thi), phi[u.tlo : u.thi]
         nb = self._near_blocks[i - nfu]
@@ -917,7 +1003,9 @@ class ClusterPlan(CompiledPlan):
         nfu = len(self._units)
         if i < nfu:
             u = self._units[i]
-            vals = np.zeros(u.thi - u.tlo, dtype=np.float64)
+            vals = np.zeros(
+                (u.thi - u.tlo,) + q_sorted.shape[1:], dtype=np.float64
+            )
             for g in u.groups:
                 srcs = np.empty(g.rows.size, dtype=np.int64)
                 for P in np.unique(g.sP):
@@ -930,7 +1018,9 @@ class ClusterPlan(CompiledPlan):
                     if te <= ts:
                         continue
                     blk = self.tgt[ts:te]
-                    acc = np.zeros(te - ts, dtype=np.float64)
+                    acc = np.zeros(
+                        (te - ts,) + q_sorted.shape[1:], dtype=np.float64
+                    )
                     # two-sided MAC: source boxes never overlap their
                     # target box, so no self-exclusion is needed
                     for sb in srcs[lo:hi]:
@@ -1009,22 +1099,44 @@ class ClusterPlan(CompiledPlan):
         Matches the target-major plan (and the un-planned evaluator)
         within the Theorem-1 truncation ledger: the cluster path adds
         the target-side truncation, which the dual bound accounts for.
+
+        ``(n, k)`` charge batches behave as in
+        :meth:`~repro.perf.plan.CompiledPlan.execute`: every M2L/L2L/L2P
+        kernel contracts the whole batch, outputs gain a trailing batch
+        axis, and ``k=1`` stays bitwise on the single-vector path.
         """
+        charges = np.asarray(charges, dtype=np.float64)
+        batch = charges.ndim == 2
+        if batch and self.compute == "both":
+            raise ValueError(
+                "batched charges support compute='potential' plans only"
+            )
+        if batch and charges.shape[1] == 1:
+            res = self.execute(charges[:, 0])
+            return TreecodeResult(
+                potential=res.potential[:, None],
+                gradient=res.gradient,
+                error_bound=(
+                    None if res.error_bound is None else res.error_bound[:, None]
+                ),
+                stats=res.stats,
+            )
         q_sorted = self.sort_charges(charges)
         obs_on = is_enabled()
         nt = self.n_targets
+        shape = (nt, charges.shape[1]) if batch else (nt,)
         with span(
             "plan.execute", targets=nt, units=self.n_units, mode="cluster"
         ):
             sw = stopwatch("plan.eval").__enter__()
-            phi = np.zeros(nt, dtype=np.float64)
+            phi = np.zeros(shape, dtype=np.float64)
             grad = (
                 np.zeros((nt, 3), dtype=np.float64)
                 if self.compute == "both"
                 else None
             )
             bound = (
-                np.zeros(nt, dtype=np.float64)
+                np.zeros(shape, dtype=np.float64)
                 if self.accumulate_bounds
                 else None
             )

@@ -182,6 +182,20 @@ def _far_chunk_geometry(rel: np.ndarray, p: int, want_grad: bool = False):
     return Y.real * rpow * w, Y.imag * rpow * w, r, grad
 
 
+def _m2p_rows_any(C: np.ndarray, rel: np.ndarray, p: int) -> np.ndarray:
+    """:func:`m2p_rows` accepting batched ``(pairs, k, nc)`` coefficients.
+
+    Spilled chunks only — the geometry rows are recomputed per column
+    here, so precomputed chunks (which contract the whole batch in one
+    GEMM) remain the fast path for batches.
+    """
+    if C.ndim == 2:
+        return m2p_rows(C, rel, p)
+    return np.stack(
+        [m2p_rows(C[:, j], rel, p) for j in range(C.shape[1])], axis=1
+    )
+
+
 def _build_p2m_group(tree, p: int, un: np.ndarray) -> tuple[_P2MGroup, int]:
     """Segmented P2M transfer operator over the unique nodes ``un`` of
     one degree group; returns the group and its materialized bytes.
@@ -242,23 +256,30 @@ def _build_p2m_storage(tree, fn: np.ndarray, pdeg: np.ndarray):
 
 def _gather_coeffs(ctx, sP: np.ndarray, rows: np.ndarray, nc: int) -> np.ndarray:
     """Multipole coefficients for a pair batch, truncated to ``nc``
-    entries, gathered from per-storage-degree coefficient tables."""
+    entries, gathered from per-storage-degree coefficient tables.
+
+    Coefficient tables are ``(nodes, nc)`` for a single charge vector or
+    ``(nodes, k, nc)`` for a batch; the gather preserves the batch axis.
+    """
     uP = np.unique(sP)
     if uP.size == 1:
-        return ctx[int(uP[0])][0][rows, :nc]
-    C = np.empty((rows.size, nc), dtype=np.complex128)
+        return ctx[int(uP[0])][0][rows, ..., :nc]
+    tbl = ctx[int(uP[0])][0]
+    C = np.empty((rows.size,) + tbl.shape[1:-1] + (nc,), dtype=np.complex128)
     for P in uP:
         m = sP == P
-        C[m] = ctx[int(P)][0][rows[m], :nc]
+        C[m] = ctx[int(P)][0][rows[m], ..., :nc]
     return C
 
 
 def _gather_abs(ctx, sP: np.ndarray, rows: np.ndarray) -> np.ndarray:
-    """Absolute cluster charges for a pair batch (bounds accounting)."""
+    """Absolute cluster charges for a pair batch (bounds accounting);
+    ``(pairs,)`` single-vector or ``(pairs, k)`` batched."""
     uP = np.unique(sP)
     if uP.size == 1:
         return ctx[int(uP[0])][1][rows]
-    A = np.empty(rows.size, dtype=np.float64)
+    tbl = ctx[int(uP[0])][1]
+    A = np.empty((rows.size,) + tbl.shape[1:], dtype=np.float64)
     for P in uP:
         m = sP == P
         A[m] = ctx[int(P)][1][rows[m]]
@@ -586,11 +607,26 @@ class CompiledPlan:
         )
 
     def sort_charges(self, charges: np.ndarray) -> np.ndarray:
-        """Validate a charge vector and return it in Morton order."""
+        """Validate a charge array and return it in Morton order.
+
+        Accepts a single ``(n,)`` vector or an ``(n, k)`` batch of
+        stacked charge vectors (one matvec per column).  An ``(n, 1)``
+        batch is squeezed onto the single-vector path — every downstream
+        kernel then runs exactly the historical 1-D code, which is what
+        makes ``k=1`` batched execution bitwise-identical; entry points
+        restore the column axis on their outputs.
+        """
         charges = np.asarray(charges, dtype=np.float64)
         n = self.tc.tree.n_particles
-        if charges.shape != (n,):
-            raise ValueError(f"charges must have shape ({n},), got {charges.shape}")
+        if charges.ndim not in (1, 2) or charges.shape[0] != n:
+            raise ValueError(
+                f"charges must have shape ({n},) or ({n}, k), got {charges.shape}"
+            )
+        if charges.ndim == 2:
+            if charges.shape[1] == 0:
+                raise ValueError("charge batch must have at least one column")
+            if charges.shape[1] == 1:
+                charges = charges[:, 0]
         return charges[self.tc.tree.perm]
 
     def form_coefficients(self, q_sorted: np.ndarray) -> dict:
@@ -605,7 +641,12 @@ class CompiledPlan:
         with span("plan.p2m", groups=len(self._p2m_groups)):
             for g in self._p2m_groups:
                 qg = q_sorted[g.pidx]
-                C = np.add.reduceat(qg[:, None] * g.G, g.seg, axis=0)
+                if qg.ndim == 1:
+                    C = np.add.reduceat(qg[:, None] * g.G, g.seg, axis=0)
+                else:  # (rows, k) batch: one segmented transfer per group
+                    C = np.add.reduceat(
+                        qg[:, :, None] * g.G[:, None, :], g.seg, axis=0
+                    )
                 C = maybe_corrupt("treecode.coeffs", C)
                 check_finite(
                     "treecode.coeffs", C, context="planned multipole coefficients"
@@ -622,14 +663,20 @@ class CompiledPlan:
         ch = self._far_chunks[i]
         C = _gather_coeffs(ctx, ch.sP, ch.rows, ncoef(ch.p))
         tree = self.tc.tree
+        batched = C.ndim == 3
         if ch.Rre is not None:
-            vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
-                "tc,tc->t", ch.Rim, C.imag
-            )
+            if batched:
+                vals = np.einsum("tc,tkc->tk", ch.Rre, C.real) - np.einsum(
+                    "tc,tkc->tk", ch.Rim, C.imag
+                )
+            else:
+                vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
+                    "tc,tc->t", ch.Rim, C.imag
+                )
             rel = None
         else:  # spilled: evaluate geometry on the fly (planned coeffs)
             rel = self.tgt[ch.tids] - tree.center_exp[ch.nodes]
-            vals = m2p_rows(C, rel, ch.p)
+            vals = _m2p_rows_any(C, rel, ch.p)
         scatter_add(phi, ch.tids, vals)
         if grad is not None:
             if ch.grad is not None:
@@ -645,14 +692,19 @@ class CompiledPlan:
         if bound is not None:
             Anode = _gather_abs(ctx, ch.sP, ch.rows)
             if ch.bgeom is not None:
-                b = Anode * ch.bgeom
+                b = Anode * (ch.bgeom[:, None] if batched else ch.bgeom)
                 levels = ch.levels
+            elif batched:
+                r = np.sqrt(np.einsum("ij,ij->i", rel, rel))
+                bg = theorem1_bound(1.0, tree.radius[ch.nodes], r, ch.p)
+                b = Anode * bg[:, None]
+                levels = tree.level[ch.nodes]
             else:
                 r = np.sqrt(np.einsum("ij,ij->i", rel, rel))
                 b = theorem1_bound(Anode, tree.radius[ch.nodes], r, ch.p)
                 levels = tree.level[ch.nodes]
             scatter_add(bound, ch.tids, b)
-            lsum = np.bincount(levels, weights=b)
+            lsum = np.bincount(levels, weights=b.sum(axis=1) if batched else b)
             for L, s_ in enumerate(lsum):
                 if s_:
                     stats.bound_by_level[L] = stats.bound_by_level.get(L, 0.0) + float(
@@ -691,12 +743,17 @@ class CompiledPlan:
             ch = self._far_chunks[i]
             C = _gather_coeffs(ctx, ch.sP, ch.rows, ncoef(ch.p))
             if ch.Rre is not None:
-                vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
-                    "tc,tc->t", ch.Rim, C.imag
-                )
+                if C.ndim == 3:
+                    vals = np.einsum("tc,tkc->tk", ch.Rre, C.real) - np.einsum(
+                        "tc,tkc->tk", ch.Rim, C.imag
+                    )
+                else:
+                    vals = np.einsum("tc,tc->t", ch.Rre, C.real) - np.einsum(
+                        "tc,tc->t", ch.Rim, C.imag
+                    )
             else:
                 rel = self.tgt[ch.tids] - self.tc.tree.center_exp[ch.nodes]
-                vals = m2p_rows(C, rel, ch.p)
+                vals = _m2p_rows_any(C, rel, ch.p)
             return ch.tids, vals
         nb = self._near_blocks[i - nf]
         qs = q_sorted[nb.s : nb.e]
@@ -729,7 +786,7 @@ class CompiledPlan:
         nf = len(self._far_chunks)
         if i < nf:
             ch = self._far_chunks[i]
-            vals = np.zeros(ch.tids.size, dtype=np.float64)
+            vals = np.zeros((ch.tids.size,) + q_sorted.shape[1:], dtype=np.float64)
             for node in np.unique(ch.nodes):
                 m = ch.nodes == node
                 s, e = int(tree.start[node]), int(tree.end[node])
@@ -872,20 +929,46 @@ class CompiledPlan:
         ``tc.evaluate_lists(...)`` with the compiled configuration, but
         without touching any treecode state; agreement is to rounding
         (``<= 1e-12``).
+
+        ``charges`` may be an ``(n, k)`` batch of stacked charge
+        vectors; every kernel then contracts the whole batch at once
+        (one GEMM per operator instead of ``k`` GEMVs), and the result's
+        ``potential``/``error_bound`` gain a trailing batch axis with
+        column ``j`` the evaluation of ``charges[:, j]``.  A ``k=1``
+        batch runs the single-vector kernels bitwise-identically and
+        only reshapes the outputs.  Gradients (``compute="both"``) are
+        single-vector only.
         """
+        charges = np.asarray(charges, dtype=np.float64)
+        batch = charges.ndim == 2
+        if batch and self.compute == "both":
+            raise ValueError(
+                "batched charges support compute='potential' plans only"
+            )
+        if batch and charges.shape[1] == 1:
+            res = self.execute(charges[:, 0])
+            return TreecodeResult(
+                potential=res.potential[:, None],
+                gradient=res.gradient,
+                error_bound=(
+                    None if res.error_bound is None else res.error_bound[:, None]
+                ),
+                stats=res.stats,
+            )
         q_sorted = self.sort_charges(charges)
         obs_on = is_enabled()
         nt = self.n_targets
+        shape = (nt, charges.shape[1]) if batch else (nt,)
         with span("plan.execute", targets=nt, units=self.n_units):
             sw = stopwatch("plan.eval").__enter__()
-            phi = np.zeros(nt, dtype=np.float64)
+            phi = np.zeros(shape, dtype=np.float64)
             grad = (
                 np.zeros((nt, 3), dtype=np.float64)
                 if self.compute == "both"
                 else None
             )
             bound = (
-                np.zeros(nt, dtype=np.float64) if self.accumulate_bounds else None
+                np.zeros(shape, dtype=np.float64) if self.accumulate_bounds else None
             )
             stats = self._clone_stats()
             ctx = self.form_coefficients(q_sorted)
@@ -929,6 +1012,7 @@ def compile_plan(
     n_units: int | None = None,
     tol: float | None = None,
     translation_backend: str = "auto",
+    cache_dir=None,
 ) -> CompiledPlan:
     """Freeze a treecode into a compiled evaluation plan.
 
@@ -945,8 +1029,53 @@ def compile_plan(
     buckets interactions by degree so every kernel stays a GEMM.
     ``tol=None`` reproduces today's fixed-policy plans exactly.
 
+    ``cache_dir`` (or the ``REPRO_PLAN_CACHE`` environment variable
+    when it is ``None``; pass ``""`` to force-disable) enables the
+    persistent plan store (:mod:`repro.perf.store`): if a plan with the
+    same content digest — points, charges, policy, tolerance, backend,
+    dtype, plan configuration, library version — exists on disk it is
+    restored by zero-copy ``mmap`` instead of compiled; otherwise the
+    freshly compiled plan is written back.  Corrupt or stale files
+    fall back to a fresh compile.
+
     Equivalent to :meth:`repro.core.treecode.Treecode.compile_plan`.
     """
+    from .store import cached_plan, plan_digest, resolve_cache_dir
+
+    cache = resolve_cache_dir(cache_dir)
+    if cache is not None:
+        digest = plan_digest(
+            tc,
+            tgt,
+            self_targets,
+            compute,
+            accumulate_bounds,
+            memory_budget,
+            mode,
+            rows_dtype,
+            n_units,
+            tol,
+            translation_backend,
+        )
+        return cached_plan(
+            cache,
+            digest,
+            lambda: compile_plan(
+                tc,
+                lists,
+                tgt,
+                self_targets=self_targets,
+                compute=compute,
+                accumulate_bounds=accumulate_bounds,
+                memory_budget=memory_budget,
+                mode=mode,
+                rows_dtype=rows_dtype,
+                n_units=n_units,
+                tol=tol,
+                translation_backend=translation_backend,
+                cache_dir="",
+            ),
+        )
     if mode == "cluster":
         from .cluster import ClusterPlan
 

@@ -34,6 +34,12 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> np.ndarra
     place).
     """
     n = out.shape[0]
+    vals = np.asarray(vals)
+    if vals.shape[1:] != out.shape[1:]:
+        raise ValueError(
+            f"scatter_add payload shape {vals.shape} does not match output "
+            f"shape {out.shape}: trailing dimensions must agree"
+        )
     if idx.size == 0:
         return out
     if idx.size < n * _SPARSE_RATIO:
@@ -43,5 +49,7 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> np.ndarra
         out += np.bincount(idx, weights=vals, minlength=n)
     else:
         for c in range(out.shape[1]):
-            out[:, c] += np.bincount(idx, weights=vals[:, c], minlength=n)
+            out[:, c] += np.bincount(
+                idx, weights=np.ascontiguousarray(vals[:, c]), minlength=n
+            )
     return out
